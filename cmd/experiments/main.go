@@ -1,0 +1,77 @@
+// experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                       # all core tables/figures at 1/20 scale
+//	experiments -experiment fig4      # one experiment
+//	experiments -all -scale 0.1      # include ablations, larger scale
+//	experiments -scale 1             # the paper's full workload (slow)
+//
+// Reports go to stdout; per-run progress to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		id    = flag.String("experiment", "", "run a single experiment (see -list)")
+		scale = flag.Float64("scale", 0.05, "workload scale (1.0 = the paper's 1,000,000 transactions)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		all   = flag.Bool("all", false, "include ablation experiments, not just the paper's tables/figures")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			kind := "ablation"
+			if e.Core {
+				kind = "paper"
+			}
+			fmt.Printf("%-14s %-8s %s\n", e.ID, kind, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Scale: *scale, Seed: *seed}
+	if !*quiet {
+		opt.Out = os.Stderr
+	}
+
+	var entries []experiments.Entry
+	if *id != "" {
+		e, err := experiments.Lookup(*id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries = []experiments.Entry{e}
+	} else {
+		for _, e := range experiments.Registry() {
+			if e.Core || *all {
+				entries = append(entries, e)
+			}
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		rep, err := e.Run(opt)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s regenerated in %.1fs wall time at scale %.2f)\n\n",
+			e.ID, time.Since(start).Seconds(), *scale)
+	}
+}

@@ -1,0 +1,122 @@
+// hpaminer runs one parallel mining configuration on the simulated cluster
+// and prints the pass table, swapping statistics, and top association rules.
+//
+// Examples:
+//
+//	hpaminer -d 20000                                # no memory limit
+//	hpaminer -d 20000 -limit 2000000 -device remote -policy update
+//	hpaminer -input txns.bin -minsup 0.002 -device disk -limit 1500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/quest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hpaminer: ")
+	var (
+		input    = flag.String("input", "", "transaction file (questgen output); empty generates a workload")
+		d        = flag.Int("d", 50_000, "generated transactions (when -input is empty)")
+		n        = flag.Int("n", 5_000, "distinct items (when -input is empty)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		minsup   = flag.Float64("minsup", 0.001, "minimum support fraction")
+		minconf  = flag.Float64("minconf", 0.5, "minimum rule confidence")
+		appNodes = flag.Int("app", 8, "application execution nodes")
+		memNodes = flag.Int("mem", 16, "memory-available nodes")
+		limit    = flag.Int64("limit", 0, "per-node candidate memory limit in bytes (0 = unlimited)")
+		device   = flag.String("device", "remote", "swap device when limited: remote | disk")
+		policy   = flag.String("policy", "simple", "swap policy: simple | update")
+		rpm      = flag.Int("rpm", 7200, "swap disk profile: 7200 | 12000")
+		topRules = flag.Int("rules", 10, "how many rules to print")
+	)
+	flag.Parse()
+
+	cfg := repro.DefaultConfig()
+	cfg.Workload.Transactions = *d
+	cfg.Workload.Items = *n
+	cfg.Workload.Seed = *seed
+	cfg.MinSupport = *minsup
+	cfg.MinConfidence = *minconf
+	cfg.Cluster.AppNodes = *appNodes
+	cfg.Cluster.MemNodes = *memNodes
+	cfg.Cluster.MemoryLimitBytes = *limit
+	cfg.Cluster.DiskRPM = *rpm
+	if *limit > 0 {
+		switch *device {
+		case "remote":
+			cfg.Cluster.Device = repro.RemoteMemory
+		case "disk":
+			cfg.Cluster.Device = repro.LocalDisk
+		default:
+			log.Fatalf("unknown device %q", *device)
+		}
+	}
+	switch *policy {
+	case "simple":
+		cfg.Cluster.Policy = repro.SimpleSwapping
+	case "update":
+		cfg.Cluster.Policy = repro.RemoteUpdate
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	start := time.Now()
+	var res *repro.Result
+	var err error
+	if *input != "" {
+		txns, rerr := quest.ReadFile(*input)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		raw := make([][]int, len(txns))
+		for i, t := range txns {
+			row := make([]int, len(t))
+			for j, it := range t {
+				row[j] = int(it)
+			}
+			raw[i] = row
+		}
+		res, err = repro.RunTransactions(cfg, raw)
+	} else {
+		res, err = repro.Run(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d transactions (minsup %.3f%%, minCount %d) on %d app + %d mem nodes\n",
+		res.Transactions, 100*cfg.MinSupport, res.MinCount, *appNodes, *memNodes)
+	fmt.Printf("virtual time: pass2 %.1fs, total %.1fs   (wall %.1fs)\n",
+		res.Pass2Time.Seconds(), res.TotalTime.Seconds(), time.Since(start).Seconds())
+	fmt.Println()
+	fmt.Print(res.PassTable())
+	if *limit > 0 {
+		fmt.Printf("\nswapping: policy=%s device=%s limit=%d B\n",
+			cfg.Cluster.Policy, cfg.Cluster.Device, *limit)
+		fmt.Printf("  pagefaults %d (max/node %d), evictions %d, remote updates %d, migrations %d\n",
+			res.Pagefaults, res.MaxPagefaultsPerNode, res.Evictions, res.RemoteUpdates, res.Migrations)
+	}
+	fmt.Printf("network: %d messages, %.1f MB\n", res.Messages, float64(res.NetworkBytes)/(1<<20))
+	if *topRules > 0 && len(res.Rules) > 0 {
+		fmt.Printf("\ntop %d rules (of %d):\n", min(*topRules, len(res.Rules)), len(res.Rules))
+		for _, r := range res.TopRules(*topRules) {
+			fmt.Println(" ", r)
+		}
+	}
+	os.Exit(0)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

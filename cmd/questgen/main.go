@@ -1,0 +1,54 @@
+// questgen generates synthetic basket data in the style of Agrawal's Quest
+// program (the generator the paper used) and writes it to a file: text
+// format by default, compact binary with a .bin suffix.
+//
+// Usage:
+//
+//	questgen -d 100000 -n 5000 -t 10 -i 4 -o txns.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/quest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("questgen: ")
+	var (
+		d        = flag.Int("d", 100_000, "number of transactions")
+		n        = flag.Int("n", 5_000, "number of distinct items")
+		t        = flag.Float64("t", 10, "average transaction size")
+		i        = flag.Float64("i", 4, "average pattern size")
+		patterns = flag.Int("patterns", 2_000, "size of the potentially-large itemset pool")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output path (.bin for binary format); empty writes text to stdout")
+	)
+	flag.Parse()
+
+	p := quest.Defaults()
+	p.Transactions = *d
+	p.Items = *n
+	p.AvgTxnLen = *t
+	p.AvgPatternLen = *i
+	p.Patterns = *patterns
+	p.Seed = *seed
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	txns := quest.Generate(p)
+	if *out == "" {
+		if err := quest.WriteText(os.Stdout, txns); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := quest.WriteFile(*out, txns); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d transactions (%s) to %s\n", len(txns), p.Name(), *out)
+}

@@ -1,0 +1,50 @@
+// rmserverd runs a standalone remote-memory store speaking the rmtp TCP
+// protocol — the memory-available node's server, runnable on a real network.
+//
+//	rmserverd -addr :7009 -capacity 67108864
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+)
+
+import "repro/internal/rmtp"
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("rmserverd: ")
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7009", "listen address")
+		capacity = flag.Int64("capacity", 64<<20, "spare memory to lend, bytes (0 = unlimited)")
+		statEach = flag.Duration("stats", 10*time.Second, "occupancy log period (0 disables)")
+	)
+	flag.Parse()
+
+	srv := rmtp.NewServer(*capacity)
+	srv.SetLogger(log.Printf)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("lending %d MB of memory on %s", *capacity>>20, srv.Addr())
+
+	if *statEach > 0 {
+		go func() {
+			for range time.Tick(*statEach) {
+				occ := srv.Occupancy()
+				stores, fetches, updates, migrated := srv.Stats()
+				log.Printf("holding %d lines / %d KB; ops: %d stores %d fetches %d updates %d migrated",
+					occ.Lines, occ.Bytes>>10, stores, fetches, updates, migrated)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}

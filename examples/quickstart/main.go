@@ -1,0 +1,33 @@
+// Quickstart: mine association rules from a generated basket workload on
+// the simulated cluster with the default (no-limit) configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultConfig()
+	cfg.Workload.Transactions = 20_000
+	cfg.Workload.Items = 500
+	cfg.MinSupport = 0.005
+	cfg.MinConfidence = 0.6
+
+	res, err := repro.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d transactions on %d application nodes (virtual time %.1fs)\n\n",
+		res.Transactions, cfg.Cluster.AppNodes, res.TotalTime.Seconds())
+	fmt.Println(res.PassTable())
+	fmt.Printf("%d large itemsets, %d rules; top rules:\n", len(res.LargeItemsets), len(res.Rules))
+	for _, r := range res.TopRules(5) {
+		fmt.Println(" ", r)
+	}
+}

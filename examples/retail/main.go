@@ -1,0 +1,95 @@
+// Retail basket analysis: build a small supermarket catalog, synthesize
+// purchase baskets around plausible co-purchase patterns, and mine the
+// rules back out — the use case the paper's introduction motivates
+// ("if customers buy A and B then 90% of them also buy C").
+//
+//	go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro"
+)
+
+// A toy catalog. Rules are mined over item ids; names are for display.
+var catalog = []string{
+	"bread", "butter", "milk", "eggs", "cheese", "yogurt", "coffee", "tea",
+	"sugar", "cereal", "bananas", "apples", "chicken", "pasta", "sauce",
+	"beer", "chips", "salsa", "diapers", "wipes",
+}
+
+// patterns are the ground-truth co-purchase habits the generator plants;
+// mining should rediscover them as high-confidence rules.
+var patterns = [][]int{
+	{0, 1},       // bread + butter
+	{2, 3, 9},    // milk + eggs + cereal
+	{6, 8},       // coffee + sugar
+	{13, 14},     // pasta + sauce
+	{15, 16, 17}, // beer + chips + salsa
+	{18, 19},     // diapers + wipes
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	const nBaskets = 30_000
+	baskets := make([][]int, nBaskets)
+	for i := range baskets {
+		var b []int
+		// One or two planted patterns, each surviving with p=0.8 per item.
+		for p := 0; p < 1+rng.Intn(2); p++ {
+			for _, it := range patterns[rng.Intn(len(patterns))] {
+				if rng.Float64() < 0.8 {
+					b = append(b, it)
+				}
+			}
+		}
+		// Impulse purchases.
+		for p := 0; p < rng.Intn(4); p++ {
+			b = append(b, rng.Intn(len(catalog)))
+		}
+		if len(b) == 0 {
+			b = append(b, rng.Intn(len(catalog)))
+		}
+		baskets[i] = b
+	}
+
+	cfg := repro.DefaultConfig()
+	cfg.Cluster.AppNodes = 4
+	cfg.Cluster.MemNodes = 0
+	cfg.Cluster.TotalHashLines = 1_000
+	cfg.MinSupport = 0.02
+	cfg.MinConfidence = 0.7
+
+	res, err := repro.RunTransactions(cfg, baskets)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mined %d baskets over %d products (minsup %.1f%%, minconf %.0f%%)\n\n",
+		res.Transactions, len(catalog), 100*cfg.MinSupport, 100*cfg.MinConfidence)
+	fmt.Printf("frequent itemsets by size:")
+	for k := 1; ; k++ {
+		n := len(res.LargeOfSize(k))
+		if n == 0 {
+			break
+		}
+		fmt.Printf("  L%d=%d", k, n)
+	}
+	fmt.Printf("\n\ntop rules:\n")
+	for _, r := range res.TopRules(12) {
+		fmt.Printf("  if you buy %s then you buy %s  (conf %.0f%%, lift %.1f)\n",
+			names(r.Antecedent), names(r.Consequent), 100*r.Confidence, r.Lift)
+	}
+}
+
+func names(items []int) string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = catalog[it]
+	}
+	return strings.Join(out, " + ")
+}

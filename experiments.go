@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// ExperimentOptions scales and reports the paper-reproduction harnesses.
+type ExperimentOptions struct {
+	// Scale multiplies the paper's 1,000,000-transaction workload
+	// (default 0.05; 1.0 is the full evaluation size).
+	Scale float64
+	// Seed drives workload generation.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// ExperimentIDs lists the available experiment identifiers in presentation
+// order (table2, table3, fig3, table4, fig4, fig5, plus ablations).
+func ExperimentIDs() []string {
+	var ids []string
+	for _, e := range experiments.Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns the rendered report.
+func RunExperiment(id string, opt ExperimentOptions) (string, error) {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		return "", err
+	}
+	rep, err := e.Run(experiments.Options{
+		Scale: opt.Scale,
+		Seed:  opt.Seed,
+		Out:   opt.Progress,
+	})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}

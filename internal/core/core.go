@@ -1,0 +1,300 @@
+// Package core assembles complete simulated-cluster mining runs: it builds
+// the kernel, network, memory-available node stores and monitors (or disk
+// swap devices), wires the application nodes' pagers, injects the
+// memory-withdrawal failures of the migration experiment, runs HPA, and
+// returns the combined result. It is the engine under the repository's
+// public API and the experiment harnesses.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/hpa"
+	"repro/internal/itemset"
+	"repro/internal/memtable"
+	"repro/internal/quest"
+	"repro/internal/remotemem"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Backend selects the swap device used when a memory limit is set.
+type Backend int
+
+const (
+	// BackendNone runs without swapping (no memory limit allowed).
+	BackendNone Backend = iota
+	// BackendRemote swaps to memory-available nodes (the paper's proposal).
+	BackendRemote
+	// BackendDisk swaps to a local disk (the paper's baseline).
+	BackendDisk
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendNone:
+		return "none"
+	case BackendRemote:
+		return "remote-memory"
+	case BackendDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Withdrawal makes one memory-available node lose its spare memory during
+// the run (the Fig. 5 experiment's signal): at virtual time At, other
+// processes claim its whole memory, its monitor reports shortage, and the
+// application nodes must migrate their lines away.
+type Withdrawal struct {
+	At   sim.Duration
+	Node int // index into the memory-available nodes (0-based)
+}
+
+// Config is a complete run description.
+type Config struct {
+	AppNodes int
+	MemNodes int
+
+	MinSupport float64
+	TotalLines int   // hash lines across all app nodes
+	LimitBytes int64 // per-node candidate-memory limit; 0 = unlimited
+	Policy     memtable.Policy
+	Eviction   memtable.Eviction
+	Hash       hpa.HashKind
+	Backend    Backend
+	MaxPasses  int
+
+	Net             simnet.Config
+	Costs           hpa.CPUCosts
+	RemoteCosts     remotemem.Costs
+	DiskProfile     disk.Profile
+	MonitorInterval sim.Duration
+	// MonitorSampleCPU is the per-sample compute cost of the availability
+	// poll on a memory node (the `netstat -k` fork); 0 keeps the monitor
+	// default.
+	MonitorSampleCPU sim.Duration
+	StoreCapacity    int64 // spare bytes per memory-available node
+
+	Withdrawals []Withdrawal
+}
+
+// Defaults returns the paper's §5.1 configuration (minus workload scale):
+// 8 application nodes, 16 memory-available nodes, minsup 0.1%, 800,000 hash
+// lines, remote backend, 3 s monitor interval.
+func Defaults() Config {
+	return Config{
+		AppNodes:        8,
+		MemNodes:        16,
+		MinSupport:      0.001,
+		TotalLines:      800_000,
+		LimitBytes:      0,
+		Policy:          memtable.SimpleSwap,
+		Backend:         BackendRemote,
+		Net:             simnet.PaperATM(),
+		Costs:           hpa.DefaultCPUCosts(),
+		RemoteCosts:     remotemem.DefaultCosts(),
+		DiskProfile:     disk.Barracuda7200(),
+		MonitorInterval: 3 * sim.Second,
+		StoreCapacity:   40 << 20, // spare memory on an idle 64 MB node
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	if c.AppNodes < 1 {
+		return errors.New("core: need at least one application node")
+	}
+	if c.MemNodes < 0 {
+		return errors.New("core: negative memory node count")
+	}
+	if c.LimitBytes < 0 {
+		return errors.New("core: negative memory limit")
+	}
+	if c.LimitBytes > 0 {
+		switch c.Backend {
+		case BackendRemote:
+			if c.MemNodes < 1 {
+				return errors.New("core: remote backend needs memory-available nodes")
+			}
+		case BackendDisk:
+			if c.Policy == memtable.RemoteUpdate {
+				return errors.New("core: remote-update policy requires the remote backend")
+			}
+		default:
+			return errors.New("core: memory limit set but no swap backend")
+		}
+	}
+	if c.MonitorInterval <= 0 && c.MemNodes > 0 {
+		return errors.New("core: monitor interval must be positive")
+	}
+	for _, w := range c.Withdrawals {
+		if w.Node < 0 || w.Node >= c.MemNodes {
+			return fmt.Errorf("core: withdrawal of unknown memory node %d", w.Node)
+		}
+		if w.At < 0 {
+			return errors.New("core: negative withdrawal time")
+		}
+	}
+	return c.Net.Validate()
+}
+
+// RunInfo augments the mining result with environment-level observations.
+type RunInfo struct {
+	Result *hpa.Result
+	// Events is the number of simulation events dispatched.
+	Events uint64
+	// Store operation totals across memory-available nodes.
+	StoreStores, StoreFetches, StoreUpdates, StoreMigrated, StoreForwarded uint64
+	// Swap-disk totals (disk backend).
+	DiskReads, DiskWrites uint64
+	// AvgDiskReadLatency is the mean observed swap-disk read latency.
+	AvgDiskReadLatency sim.Duration
+	// MonitorReports is the total availability broadcast rounds.
+	MonitorReports uint64
+}
+
+// Run executes one configuration over the given per-node transaction
+// partitions.
+func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(parts) != cfg.AppNodes {
+		return nil, fmt.Errorf("core: %d partitions for %d nodes", len(parts), cfg.AppNodes)
+	}
+	layout := cluster.Layout{AppNodes: cfg.AppNodes, MemNodes: cfg.MemNodes}
+	k := sim.NewKernel()
+	nw := simnet.New(k, cfg.Net, layout.Total())
+	coord := cluster.NewCoordinator(nw, layout)
+
+	// One uniprocessor per node: every process on a node contends for it.
+	cpus := make([]*sim.Resource, layout.Total())
+	for i := range cpus {
+		cpus[i] = sim.NewResource(k, fmt.Sprintf("cpu-%d", i), 1)
+	}
+
+	env := hpa.Env{
+		K:      k,
+		Net:    nw,
+		Layout: layout,
+		Coord:  coord,
+		Txns:   parts,
+		CPUs:   cpus,
+	}
+
+	var stores []*remotemem.Store
+	var monitors []*remotemem.Monitor
+	var clients []*remotemem.Client
+	var disks []*disk.Disk
+
+	for _, id := range layout.MemIDs() {
+		st := remotemem.NewStore(nw, id, cfg.StoreCapacity, cfg.RemoteCosts)
+		stores = append(stores, st)
+		k.Go(fmt.Sprintf("store-%d", id), st.Run).BindCPU(cpus[id])
+		mon := remotemem.NewMonitor(nw, layout, st, cfg.MonitorInterval)
+		if cfg.MonitorSampleCPU > 0 {
+			mon.SampleCPU = cfg.MonitorSampleCPU
+		}
+		monitors = append(monitors, mon)
+		k.Go(fmt.Sprintf("monitor-%d", id), mon.Run).BindCPU(cpus[id])
+	}
+
+	if cfg.LimitBytes > 0 {
+		env.Pagers = make([]memtable.Pager, cfg.AppNodes)
+		switch cfg.Backend {
+		case BackendRemote:
+			clients = make([]*remotemem.Client, cfg.AppNodes)
+			env.Clients = clients
+			for i := 0; i < cfg.AppNodes; i++ {
+				cl := remotemem.NewClient(nw, layout, i)
+				for _, st := range stores {
+					cl.Seed(st.Node(), st.FreeBytes())
+				}
+				k.Go(fmt.Sprintf("monclient-%d", i), cl.RunMonitor).BindCPU(cpus[i])
+				clients[i] = cl
+				env.Pagers[i] = cl
+			}
+		case BackendDisk:
+			for i := 0; i < cfg.AppNodes; i++ {
+				d := disk.New(k, cfg.DiskProfile, int64(1000+i))
+				disks = append(disks, d)
+				env.Pagers[i] = disk.NewSwapPager(k, d, disk.PagerConfig{})
+			}
+		}
+	}
+
+	for _, w := range cfg.Withdrawals {
+		st := stores[w.Node]
+		k.At(sim.Time(w.At), func() { st.SetExternalLoad(1 << 50) })
+	}
+
+	params := hpa.Params{
+		MinSupport: cfg.MinSupport,
+		TotalLines: cfg.TotalLines,
+		LimitBytes: cfg.LimitBytes,
+		Policy:     cfg.Policy,
+		Eviction:   cfg.Eviction,
+		Hash:       cfg.Hash,
+		MaxPasses:  cfg.MaxPasses,
+		Costs:      cfg.Costs,
+	}
+	pending, err := hpa.Start(env, params)
+	if err != nil {
+		return nil, err
+	}
+	pending.OnAllDone = func() {
+		for _, m := range monitors {
+			m.Stop()
+		}
+		for _, cl := range clients {
+			cl.Stop()
+		}
+	}
+	k.Run()
+	// Unwind processes still parked on channels/resources; their goroutines
+	// would otherwise pin this run's memory for the host's lifetime.
+	k.Shutdown()
+
+	res, err := pending.Result()
+	if err != nil {
+		return nil, err
+	}
+	info := &RunInfo{Result: res, Events: k.Events()}
+	for _, st := range stores {
+		s, f, u, m, fw := st.Stats()
+		info.StoreStores += s
+		info.StoreFetches += f
+		info.StoreUpdates += u
+		info.StoreMigrated += m
+		info.StoreForwarded += fw
+	}
+	for _, mon := range monitors {
+		info.MonitorReports += mon.Reports()
+	}
+	var latSum sim.Duration
+	for _, d := range disks {
+		r, w, _, _ := d.Stats()
+		info.DiskReads += r
+		info.DiskWrites += w
+		latSum += d.AvgReadLatency()
+	}
+	if len(disks) > 0 {
+		info.AvgDiskReadLatency = latSum / sim.Duration(len(disks))
+	}
+	return info, nil
+}
+
+// RunWorkload generates a Quest workload, partitions it round-robin, and
+// runs the configuration over it.
+func RunWorkload(cfg Config, wp quest.Params) (*RunInfo, error) {
+	if err := wp.Validate(); err != nil {
+		return nil, err
+	}
+	txns := quest.Generate(wp)
+	return Run(cfg, quest.Partition(txns, cfg.AppNodes))
+}

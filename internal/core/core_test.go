@@ -1,0 +1,274 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/hpa"
+	"repro/internal/itemset"
+	"repro/internal/memtable"
+	"repro/internal/quest"
+	"repro/internal/sim"
+)
+
+// smallWorkload is big enough to exercise several passes but fast in CI.
+func smallWorkload() quest.Params {
+	p := quest.Defaults()
+	p.Transactions = 1200
+	p.Items = 120
+	p.Patterns = 60
+	p.AvgTxnLen = 8
+	return p
+}
+
+func smallConfig() Config {
+	cfg := Defaults()
+	cfg.AppNodes = 4
+	cfg.MemNodes = 4
+	cfg.MinSupport = 0.02
+	cfg.TotalLines = 4000
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config, txns []itemset.Itemset) *RunInfo {
+	t.Helper()
+	info, err := Run(cfg, quest.Partition(txns, cfg.AppNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func sequential(t *testing.T, txns []itemset.Itemset, minSup float64) *apriori.Result {
+	t.Helper()
+	res, err := apriori.Mine(txns, apriori.Config{MinSupport: minSup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHPAMatchesSequentialApriori(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	cfg := smallConfig()
+	want := sequential(t, txns, cfg.MinSupport)
+	info := mustRun(t, cfg, txns)
+	if ok, why := apriori.SameLarge(info.Result.ToAprioriResult(), want); !ok {
+		t.Fatalf("parallel result differs from sequential Apriori: %s", why)
+	}
+	if info.Result.Pass2Time <= 0 {
+		t.Error("pass 2 time not recorded")
+	}
+}
+
+func TestHPAInvariantAcrossNodeCounts(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	want := sequential(t, txns, 0.02)
+	for _, nodes := range []int{1, 2, 3, 8} {
+		cfg := smallConfig()
+		cfg.AppNodes = nodes
+		info := mustRun(t, cfg, txns)
+		if ok, why := apriori.SameLarge(info.Result.ToAprioriResult(), want); !ok {
+			t.Fatalf("%d nodes: result differs: %s", nodes, why)
+		}
+	}
+}
+
+func TestResultsIdenticalAcrossSwapPoliciesAndBackends(t *testing.T) {
+	// The paper's central correctness requirement: mining output must be
+	// byte-identical whether candidates stay local, swap to remote memory
+	// (either policy), or swap to disk.
+	txns := quest.Generate(smallWorkload())
+	want := sequential(t, txns, 0.02)
+
+	limit := int64(1200) // bytes per node → heavy swapping at this scale
+	type variant struct {
+		name string
+		mut  func(*Config)
+	}
+	variants := []variant{
+		{"no-limit", func(c *Config) { c.LimitBytes = 0 }},
+		{"remote-simple", func(c *Config) {
+			c.LimitBytes = limit
+			c.Backend = BackendRemote
+			c.Policy = memtable.SimpleSwap
+		}},
+		{"remote-update", func(c *Config) {
+			c.LimitBytes = limit
+			c.Backend = BackendRemote
+			c.Policy = memtable.RemoteUpdate
+		}},
+		{"disk", func(c *Config) {
+			c.LimitBytes = limit
+			c.Backend = BackendDisk
+			c.Policy = memtable.SimpleSwap
+		}},
+	}
+	for _, v := range variants {
+		cfg := smallConfig()
+		v.mut(&cfg)
+		info := mustRun(t, cfg, txns)
+		if ok, why := apriori.SameLarge(info.Result.ToAprioriResult(), want); !ok {
+			t.Fatalf("%s: result differs from sequential: %s", v.name, why)
+		}
+		if cfg.LimitBytes > 0 {
+			var faults, evictions, updates uint64
+			for _, ns := range info.Result.PerNode {
+				faults += ns.Pagefaults
+				evictions += ns.Evictions
+				updates += ns.Updates
+			}
+			if evictions == 0 {
+				t.Errorf("%s: limit %d caused no evictions", v.name, cfg.LimitBytes)
+			}
+			if cfg.Policy == memtable.RemoteUpdate && updates == 0 {
+				t.Errorf("%s: remote-update policy sent no updates", v.name)
+			}
+			if cfg.Policy == memtable.SimpleSwap && faults == 0 {
+				t.Errorf("%s: simple swapping caused no faults", v.name)
+			}
+		}
+	}
+}
+
+func TestSwappingIsSlowerThanNoLimitAndDiskSlowest(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	limit := int64(1500)
+
+	base := smallConfig()
+	noLimit := mustRun(t, base, txns).Result.Pass2Time
+
+	cfgSwap := smallConfig()
+	cfgSwap.LimitBytes = limit
+	cfgSwap.Backend = BackendRemote
+	cfgSwap.Policy = memtable.SimpleSwap
+	remote := mustRun(t, cfgSwap, txns).Result.Pass2Time
+
+	cfgUpd := cfgSwap
+	cfgUpd.Policy = memtable.RemoteUpdate
+	update := mustRun(t, cfgUpd, txns).Result.Pass2Time
+
+	cfgDisk := smallConfig()
+	cfgDisk.LimitBytes = limit
+	cfgDisk.Backend = BackendDisk
+	diskT := mustRun(t, cfgDisk, txns).Result.Pass2Time
+
+	if !(noLimit < update && update < remote && remote < diskT) {
+		t.Errorf("Fig.4 ordering violated: noLimit=%v update=%v simple=%v disk=%v",
+			noLimit, update, remote, diskT)
+	}
+}
+
+func TestWithdrawalTriggersMigrationWithoutChangingResults(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	want := sequential(t, txns, 0.02)
+
+	cfg := smallConfig()
+	cfg.LimitBytes = 1200
+	cfg.Backend = BackendRemote
+	cfg.Policy = memtable.RemoteUpdate
+	cfg.MonitorInterval = 200 * sim.Millisecond
+	cfg.Withdrawals = []Withdrawal{{At: 2 * sim.Second, Node: 0}}
+
+	info := mustRun(t, cfg, txns)
+	if ok, why := apriori.SameLarge(info.Result.ToAprioriResult(), want); !ok {
+		t.Fatalf("migration corrupted results: %s", why)
+	}
+	if info.StoreMigrated == 0 {
+		t.Error("withdrawal triggered no line migration")
+	}
+	var migrations uint64
+	for _, ns := range info.Result.PerNode {
+		migrations += ns.Migrations
+	}
+	if migrations == 0 {
+		t.Error("no client directed a migration")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.AppNodes = 0 },
+		func(c *Config) { c.MemNodes = -1 },
+		func(c *Config) { c.LimitBytes = -5 },
+		func(c *Config) { c.LimitBytes = 100; c.Backend = BackendNone },
+		func(c *Config) { c.LimitBytes = 100; c.Backend = BackendRemote; c.MemNodes = 0 },
+		func(c *Config) {
+			c.LimitBytes = 100
+			c.Backend = BackendDisk
+			c.Policy = memtable.RemoteUpdate
+		},
+		func(c *Config) { c.MonitorInterval = 0 },
+		func(c *Config) { c.Withdrawals = []Withdrawal{{Node: 99}} },
+		func(c *Config) { c.Withdrawals = []Withdrawal{{Node: 0, At: -1}} },
+	}
+	for i, mut := range bad {
+		cfg := smallConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := smallConfig().Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestRunWorkloadEndToEnd(t *testing.T) {
+	cfg := smallConfig()
+	info, err := RunWorkload(cfg, smallWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Result.Transactions != smallWorkload().Transactions {
+		t.Errorf("transactions = %d", info.Result.Transactions)
+	}
+	if len(info.Result.Passes) < 2 {
+		t.Errorf("only %d passes", len(info.Result.Passes))
+	}
+	if info.MonitorReports == 0 {
+		t.Error("monitors never reported")
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	cfg := smallConfig()
+	cfg.LimitBytes = 1500
+	cfg.Policy = memtable.SimpleSwap
+	a := mustRun(t, cfg, txns)
+	b := mustRun(t, cfg, txns)
+	if a.Result.Pass2Time != b.Result.Pass2Time || a.Events != b.Events {
+		t.Errorf("nondeterministic simulation: %v/%d vs %v/%d",
+			a.Result.Pass2Time, a.Events, b.Result.Pass2Time, b.Events)
+	}
+}
+
+func TestMoreMemoryNodesNotSlower(t *testing.T) {
+	// Fig. 3's resolving bottleneck: more memory-available nodes must not
+	// increase pass-2 time under simple swapping.
+	txns := quest.Generate(smallWorkload())
+	var prev sim.Duration
+	for i, memNodes := range []int{1, 4, 16} {
+		cfg := smallConfig()
+		cfg.MemNodes = memNodes
+		cfg.LimitBytes = 1200
+		cfg.Policy = memtable.SimpleSwap
+		got := mustRun(t, cfg, txns).Result.Pass2Time
+		if i > 0 && got > prev+prev/10 { // allow 10% noise
+			t.Errorf("pass2 time rose from %v to %v with %d memory nodes", prev, got, memNodes)
+		}
+		prev = got
+	}
+}
+
+func TestHashKindDoesNotChangeResults(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	want := sequential(t, txns, 0.02)
+	cfg := smallConfig()
+	cfg.Hash = hpa.HashAdditive
+	info := mustRun(t, cfg, txns)
+	if ok, why := apriori.SameLarge(info.Result.ToAprioriResult(), want); !ok {
+		t.Fatalf("additive hash changed mining results: %s", why)
+	}
+}

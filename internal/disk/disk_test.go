@@ -1,0 +1,226 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/memtable"
+	"repro/internal/sim"
+)
+
+func TestProfilesMatchPaperNumbers(t *testing.T) {
+	// §5.2: "it takes at least 13.0msec in average to read data from
+	// 7,200rpm hard disks and 7.5msec even with the fastest 12,000rpm".
+	b := Barracuda7200()
+	if ms := b.AvgRandomAccess(4096).Milliseconds(); ms < 12.5 || ms > 14.0 {
+		t.Errorf("Barracuda avg random access %.2f ms, want ≈13.0", ms)
+	}
+	h := HitachiDK3E1T()
+	if ms := h.AvgRandomAccess(4096).Milliseconds(); ms < 7.0 || ms > 8.2 {
+		t.Errorf("DK3E1T avg random access %.2f ms, want ≈7.5", ms)
+	}
+}
+
+func TestSeekTimeModel(t *testing.T) {
+	pr := Barracuda7200()
+	if pr.SeekTime(0) != 0 {
+		t.Error("zero-distance seek should be free")
+	}
+	if pr.SeekTime(1) < pr.TrackToTrack {
+		t.Error("short seek under track-to-track time")
+	}
+	third := pr.Cylinders / 3
+	got := pr.SeekTime(third)
+	if got < pr.AvgSeek*95/100 || got > pr.AvgSeek*105/100 {
+		t.Errorf("1/3-stroke seek %v, want ≈%v", got, pr.AvgSeek)
+	}
+	if pr.SeekTime(pr.Cylinders) <= pr.SeekTime(third) {
+		t.Error("full stroke not slower than 1/3 stroke")
+	}
+	if pr.SeekTime(10*pr.Cylinders) != pr.SeekTime(2*pr.Cylinders) {
+		t.Error("seek beyond full stroke not capped")
+	}
+}
+
+func TestDiskSerializesViaArm(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 1)
+	var finish []sim.Time
+	for i := 0; i < 2; i++ {
+		k.Go("io", func(p *sim.Proc) {
+			d.Read(p, 100, 4096)
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	if len(finish) != 2 || finish[1] <= finish[0] {
+		t.Errorf("disk accesses not serialized: %v", finish)
+	}
+	reads, _, rb, _ := d.Stats()
+	if reads != 2 || rb != 8192 {
+		t.Errorf("stats reads=%d bytes=%d", reads, rb)
+	}
+}
+
+func TestShortStrokeFasterThanFullStroke(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 2)
+	var short, long sim.Duration
+	k.Go("io", func(p *sim.Proc) {
+		// Position at 0, then measure a 5-cylinder read vs a full-stroke read.
+		d.Read(p, 0, 4096)
+		short = d.Read(p, 5, 4096)
+		d.Read(p, 0, 4096)
+		long = d.Read(p, d.Profile().Cylinders-1, 4096)
+	})
+	k.Run()
+	if short >= long {
+		t.Errorf("short-stroke read %v not faster than full-stroke %v", short, long)
+	}
+}
+
+func entriesN(n int) []memtable.Entry {
+	out := make([]memtable.Entry, n)
+	for i := range out {
+		out[i] = memtable.Entry{Key: string(rune('a' + i))}
+	}
+	return out
+}
+
+func TestSwapPagerRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 3)
+	sp := NewSwapPager(k, d, PagerConfig{ClusterLines: 2})
+	k.Go("app", func(p *sim.Proc) {
+		loc1, err := sp.StoreOut(p, 1, entriesN(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc1.Node >= 0 {
+			t.Errorf("disk location has Node %d, want < 0", loc1.Node)
+		}
+		loc2, _ := sp.StoreOut(p, 2, entriesN(5)) // triggers flush
+		got, err := sp.FetchIn(p, 1, loc1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Errorf("fetched %d entries, want 3", len(got))
+		}
+		got, err = sp.FetchIn(p, 2, loc2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 5 {
+			t.Errorf("fetched %d entries, want 5", len(got))
+		}
+	})
+	k.Run()
+	faults, evs, _, flushes := sp.Stats()
+	if faults != 2 || evs != 2 {
+		t.Errorf("faults=%d evictions=%d, want 2/2", faults, evs)
+	}
+	if flushes == 0 {
+		t.Error("cluster flush never ran")
+	}
+}
+
+func TestSwapPagerBufferHitAvoidsDiskRead(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 4)
+	sp := NewSwapPager(k, d, PagerConfig{ClusterLines: 1000}) // never flush
+	k.Go("app", func(p *sim.Proc) {
+		loc, _ := sp.StoreOut(p, 7, entriesN(2))
+		before := p.Now()
+		got, err := sp.FetchIn(p, 7, loc)
+		if err != nil || len(got) != 2 {
+			t.Fatalf("fetch: %v (%d entries)", err, len(got))
+		}
+		if elapsed := p.Now().Sub(before); elapsed > sim.Millisecond {
+			t.Errorf("buffered fetch took %v; should not touch the disk", elapsed)
+		}
+	})
+	k.Run()
+	reads, _, _, _ := d.Stats()
+	if reads != 0 {
+		t.Errorf("disk saw %d reads for a buffered fetch", reads)
+	}
+	_, _, hits, _ := sp.Stats()
+	if hits != 1 {
+		t.Errorf("bufferHits = %d, want 1", hits)
+	}
+}
+
+func TestSwapPagerFaultCostRegime(t *testing.T) {
+	// A fault against a compact extent must cost a few ms — far below the
+	// 13 ms full-disk average but well above a remote-memory fault.
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 5)
+	sp := NewSwapPager(k, d, PagerConfig{ClusterLines: 8})
+	const lines = 400
+	k.Go("app", func(p *sim.Proc) {
+		locs := make(map[int]memtable.Location)
+		for i := 0; i < lines; i++ {
+			loc, err := sp.StoreOut(p, i, entriesN(6))
+			if err != nil {
+				t.Fatal(err)
+			}
+			locs[i] = loc
+		}
+		start := p.Now()
+		n := 0
+		for i := 0; i < lines; i += 2 { // random-ish fault pattern
+			if _, err := sp.FetchIn(p, i, locs[i]); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+		avg := p.Now().Sub(start).Milliseconds() / float64(n)
+		if avg < 1.5 || avg > 8 {
+			t.Errorf("average fault cost %.2f ms, want short-stroked regime [1.5,8]", avg)
+		}
+	})
+	k.Run()
+}
+
+func TestSwapPagerRejectsUpdate(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 6)
+	sp := NewSwapPager(k, d, PagerConfig{})
+	k.Go("app", func(p *sim.Proc) {
+		if err := sp.Update(p, 0, memtable.Location{}, "k"); err == nil {
+			t.Error("disk pager accepted remote update")
+		}
+	})
+	k.Run()
+}
+
+func TestSwapPagerSlotReuse(t *testing.T) {
+	k := sim.NewKernel()
+	d := New(k, Barracuda7200(), 7)
+	sp := NewSwapPager(k, d, PagerConfig{ClusterLines: 1})
+	k.Go("app", func(p *sim.Proc) {
+		for round := 0; round < 50; round++ {
+			loc, err := sp.StoreOut(p, round%3, entriesN(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sp.FetchIn(p, round%3, loc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	k.Run()
+	if ext := sp.ExtentCylinders(); ext > 2 {
+		t.Errorf("extent grew to %d cylinders despite slot reuse", ext)
+	}
+}
+
+func TestBadProfileRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid profile accepted")
+		}
+	}()
+	k := sim.NewKernel()
+	New(k, Profile{}, 1)
+}

@@ -1,0 +1,227 @@
+package disk
+
+import (
+	"fmt"
+
+	"repro/internal/memtable"
+	"repro/internal/sim"
+)
+
+// SwapPager implements memtable.Pager against a local disk — the baseline
+// the paper compares remote memory to ("memory contents are swapped out to
+// hard disks when the memory usage of candidate itemsets exceeds the limit
+// value"). On the pilot system the swap device was the SCSI Barracuda while
+// transaction data lived on the separate IDE disk, so swap I/O contends only
+// with itself.
+//
+// Faults are synchronous reads. Evictions are write-behind: lines buffer in
+// memory (the OS page cache) and flush to the swap extent in clusters, the
+// way the pageout daemon clusters dirty pages; a fault on a still-buffered
+// line is served from the cache without disk I/O. Slots live in a compact
+// extent, so fault seeks are short-stroked — which is why observed fault
+// latency sits well under the spec-sheet full-disk average.
+type SwapPager struct {
+	d *Disk
+
+	extentStartCyl int
+	slotBytes      int64
+	ioBytes        int // transfer size per fault read
+
+	slots     map[int]int // line -> slot
+	nextSlot  int
+	freeSlots []int
+
+	// Write-behind buffer.
+	pending      map[int][]memtable.Entry // line -> entries awaiting flush
+	pendingOrder []int
+	clusterLines int
+	flushCh      *sim.Chan[[]flushItem]
+
+	// Simulated on-disk contents.
+	onDisk map[int][]memtable.Entry // slot -> entries
+
+	copyCost sim.Duration
+
+	// Stats.
+	faults, evictions, bufferHits, flushes uint64
+}
+
+type flushItem struct {
+	slot  int
+	bytes int64
+}
+
+// PagerConfig tunes the swap pager.
+type PagerConfig struct {
+	// ExtentStartCyl places the swap extent on the disk.
+	ExtentStartCyl int
+	// SlotBytes is the on-disk allocation per line (default 4096).
+	SlotBytes int64
+	// IOBytes is the transfer size of a fault read (default 4096).
+	IOBytes int
+	// ClusterLines is the write-behind flush threshold (default 64 lines,
+	// a 256 KB cluster).
+	ClusterLines int
+	// CopyCost is CPU charged per buffered eviction (default 15 µs).
+	CopyCost sim.Duration
+}
+
+func (c *PagerConfig) fillDefaults() {
+	if c.SlotBytes == 0 {
+		c.SlotBytes = 4096
+	}
+	if c.IOBytes == 0 {
+		c.IOBytes = 4096
+	}
+	if c.ClusterLines == 0 {
+		c.ClusterLines = 64
+	}
+	if c.CopyCost == 0 {
+		c.CopyCost = 15 * sim.Microsecond
+	}
+}
+
+// NewSwapPager creates a pager over disk d and spawns its background flusher
+// process on kernel k.
+func NewSwapPager(k *sim.Kernel, d *Disk, cfg PagerConfig) *SwapPager {
+	cfg.fillDefaults()
+	sp := &SwapPager{
+		d:              d,
+		extentStartCyl: cfg.ExtentStartCyl,
+		slotBytes:      cfg.SlotBytes,
+		ioBytes:        cfg.IOBytes,
+		slots:          make(map[int]int),
+		pending:        make(map[int][]memtable.Entry),
+		clusterLines:   cfg.ClusterLines,
+		flushCh:        sim.NewChan[[]flushItem](k, "disk-flush"),
+		onDisk:         make(map[int][]memtable.Entry),
+	}
+	sp.copyCost = cfg.CopyCost
+	k.Go("disk-flusher", sp.runFlusher)
+	return sp
+}
+
+// runFlusher is the background process that writes clustered batches.
+func (sp *SwapPager) runFlusher(p *sim.Proc) {
+	for {
+		batch := sp.flushCh.Recv(p)
+		if len(batch) == 0 {
+			return
+		}
+		var bytes int64
+		first := batch[0].slot
+		for _, it := range batch {
+			bytes += it.bytes
+		}
+		// One clustered write: seek once to the start of the run, transfer
+		// the whole cluster.
+		sp.d.Write(p, sp.cylOf(first), int(bytes))
+		sp.flushes++
+	}
+}
+
+func (sp *SwapPager) cylOf(slot int) int {
+	return sp.extentStartCyl + int(int64(slot)*sp.slotBytes/sp.d.prof.BytesPerCyl)
+}
+
+// ExtentCylinders reports how many cylinders the allocated slots span.
+func (sp *SwapPager) ExtentCylinders() int {
+	return sp.cylOf(sp.nextSlot) - sp.extentStartCyl + 1
+}
+
+// Stats returns pager counters.
+func (sp *SwapPager) Stats() (faults, evictions, bufferHits, flushes uint64) {
+	return sp.faults, sp.evictions, sp.bufferHits, sp.flushes
+}
+
+func (sp *SwapPager) allocSlot() int {
+	if n := len(sp.freeSlots); n > 0 {
+		s := sp.freeSlots[n-1]
+		sp.freeSlots = sp.freeSlots[:n-1]
+		return s
+	}
+	s := sp.nextSlot
+	sp.nextSlot++
+	return s
+}
+
+// StoreOut buffers the line for write-behind and returns its disk location
+// (Node < 0 marks a disk location).
+func (sp *SwapPager) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
+	p.Work(sp.copyCost)
+	slot, ok := sp.slots[line]
+	if !ok {
+		slot = sp.allocSlot()
+		sp.slots[line] = slot
+	}
+	cp := make([]memtable.Entry, len(entries))
+	copy(cp, entries)
+	if _, buffered := sp.pending[line]; !buffered {
+		sp.pendingOrder = append(sp.pendingOrder, line)
+	}
+	sp.pending[line] = cp
+	sp.evictions++
+	if len(sp.pendingOrder) >= sp.clusterLines {
+		sp.flush()
+	}
+	return memtable.Location{Node: -1, Slot: slot}, nil
+}
+
+// flush hands the buffered lines to the background flusher as one cluster.
+func (sp *SwapPager) flush() {
+	batch := make([]flushItem, 0, len(sp.pendingOrder))
+	for _, line := range sp.pendingOrder {
+		entries, ok := sp.pending[line]
+		if !ok {
+			continue // faulted back out of the buffer
+		}
+		slot := sp.slots[line]
+		sp.onDisk[slot] = entries
+		batch = append(batch, flushItem{slot: slot, bytes: int64(len(entries)) * memtable.EntryWireBytes})
+		delete(sp.pending, line)
+	}
+	sp.pendingOrder = sp.pendingOrder[:0]
+	if len(batch) > 0 {
+		sp.flushCh.Push(batch)
+	}
+}
+
+// FetchIn serves a fault: from the write-behind buffer if the line has not
+// flushed yet, otherwise with a synchronous short-stroked disk read.
+func (sp *SwapPager) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
+	sp.faults++
+	if entries, ok := sp.pending[line]; ok {
+		delete(sp.pending, line)
+		sp.bufferHits++
+		p.Work(sp.copyCost)
+		sp.releaseSlot(line)
+		return entries, nil
+	}
+	slot, ok := sp.slots[line]
+	if !ok || slot != loc.Slot {
+		return nil, fmt.Errorf("disk: line %d not swapped at slot %d", line, loc.Slot)
+	}
+	entries, ok := sp.onDisk[slot]
+	if !ok {
+		return nil, fmt.Errorf("disk: slot %d empty for line %d", slot, line)
+	}
+	sp.d.Read(p, sp.cylOf(slot), sp.ioBytes)
+	delete(sp.onDisk, slot)
+	sp.releaseSlot(line)
+	return entries, nil
+}
+
+func (sp *SwapPager) releaseSlot(line int) {
+	if slot, ok := sp.slots[line]; ok {
+		delete(sp.slots, line)
+		sp.freeSlots = append(sp.freeSlots, slot)
+	}
+}
+
+// Update is not supported by a disk: remote update is the point of the
+// paper's remote-memory interface.
+func (sp *SwapPager) Update(p *sim.Proc, line int, loc memtable.Location, key string) error {
+	return fmt.Errorf("disk: remote-update policy requires remote memory, not a disk swap device")
+}
+
+var _ memtable.Pager = (*SwapPager)(nil)

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/hpa"
+	"repro/internal/memtable"
+	"repro/internal/quest"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// MonitorSweep reproduces §5.4's monitoring-interval discussion: "The
+// results are not significantly changed either when the interval ... is a
+// little shorter (e.g. 1sec). Too short interval such as shorter than 1sec
+// degrades the system performance because of the monitoring and
+// communication overhead." The degradation mechanism is the `netstat -k`
+// fork stealing CPU from the swap-service process on each memory node (plus
+// report handling on application nodes).
+func MonitorSweep(o Options) (*Report, error) {
+	o = o.fill()
+	_, txns := workload(o)
+	base := baseConfig(o)
+	ps := computePartition(txns, base.MinSupport, base.TotalLines, base.AppNodes)
+
+	intervals := []sim.Duration{
+		100 * sim.Millisecond,
+		300 * sim.Millisecond,
+		sim.Second,
+		3 * sim.Second,
+		10 * sim.Second,
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Pass-2 execution time vs monitoring interval (simple swapping, 13MB-equivalent limit, scale=%.2f)", o.Scale),
+		"interval", "exec [s]", "reports")
+	var at3s, at100ms float64
+	for _, iv := range intervals {
+		cfg := base
+		cfg.LimitBytes = limitBytes(ps, 1) // 13MB equivalent
+		cfg.Policy = memtable.SimpleSwap
+		cfg.Backend = core.BackendRemote
+		cfg.MonitorInterval = iv
+		info, err := runOne(o, cfg, txns)
+		if err != nil {
+			return nil, fmt.Errorf("monitor sweep %v: %w", iv, err)
+		}
+		t := info.Result.Pass2Time.Seconds()
+		o.progress("monitor-sweep: interval=%v -> %.1fs (%d reports)", iv, t, info.MonitorReports)
+		tbl.Add(iv.String(), fmt.Sprintf("%.1f", t), fmt.Sprint(info.MonitorReports))
+		switch iv {
+		case 3 * sim.Second:
+			at3s = t
+		case 100 * sim.Millisecond:
+			at100ms = t
+		}
+	}
+	return &Report{
+		ID:        "monitor-sweep",
+		Title:     "Monitoring interval ablation (§5.4 text)",
+		PaperNote: "3s is frequent enough; ≥1s barely changes results; <1s degrades performance",
+		Table:     tbl,
+		Notes: []string{
+			fmt.Sprintf("100ms interval costs %s of the 3s-interval time", stats.Ratio(at100ms, at3s)),
+		},
+	}, nil
+}
+
+// DiskProfiles compares the two disk generations §5.2 cites — the Seagate
+// Barracuda (7,200 rpm, ≈13.0 ms average random read) against the HITACHI
+// DK3E1T (12,000 rpm, ≈7.5 ms) — as swap devices, against remote memory at
+// the same limit. The paper's argument: "even with the fastest 12,000rpm
+// hard disks" the disk cannot approach the ≈2 ms remote-memory pagefault.
+func DiskProfiles(o Options) (*Report, error) {
+	o = o.fill()
+	_, txns := workload(o)
+	base := baseConfig(o)
+	ps := computePartition(txns, base.MinSupport, base.TotalLines, base.AppNodes)
+
+	type device struct {
+		label string
+		mut   func(*core.Config)
+	}
+	devices := []device{
+		{"barracuda-7200rpm", func(c *core.Config) {
+			c.Backend = core.BackendDisk
+			c.DiskProfile = disk.Barracuda7200()
+		}},
+		{"dk3e1t-12000rpm", func(c *core.Config) {
+			c.Backend = core.BackendDisk
+			c.DiskProfile = disk.HitachiDK3E1T()
+		}},
+		{"remote-memory", func(c *core.Config) {
+			c.Backend = core.BackendRemote
+		}},
+	}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Pass-2 execution time [virtual s] by swap device (simple swapping, scale=%.2f)", o.Scale),
+		"limit", devices[0].label, devices[1].label, devices[2].label)
+	times := map[string]float64{}
+	for i, lbl := range limitLabels {
+		cells := []string{lbl}
+		for _, dv := range devices {
+			cfg := base
+			cfg.LimitBytes = limitBytes(ps, i)
+			cfg.Policy = memtable.SimpleSwap
+			dv.mut(&cfg)
+			info, err := runOne(o, cfg, txns)
+			if err != nil {
+				return nil, fmt.Errorf("disk profiles %s/%s: %w", lbl, dv.label, err)
+			}
+			t := info.Result.Pass2Time.Seconds()
+			cells = append(cells, fmt.Sprintf("%.1f", t))
+			if i == 0 {
+				times[dv.label] = t
+			}
+			o.progress("disk-profiles: limit=%s %s -> %.1fs (disk reads %d, avg %.2fms)",
+				lbl, dv.label, t, info.DiskReads, info.AvgDiskReadLatency.Milliseconds())
+		}
+		tbl.Add(cells...)
+	}
+	return &Report{
+		ID:        "disk-profiles",
+		Title:     "Swap-device generations (§5.2's disk comparison)",
+		PaperNote: "7,200rpm ≈13.0ms and 12,000rpm ≈7.5ms per random read vs ≈2ms per remote-memory pagefault",
+		Table:     tbl,
+		Notes: []string{
+			fmt.Sprintf("at the tightest limit the 12,000rpm disk is still %s slower than remote memory",
+				stats.Ratio(times["dk3e1t-12000rpm"], times["remote-memory"])),
+		},
+	}, nil
+}
+
+// BlockSizeSweep is an ablation on the paper's 4 KB message block: the
+// swap unit must fit one block (§5.1), and the block size sets both the
+// per-fault transfer time and the counting phase's batching efficiency.
+func BlockSizeSweep(o Options) (*Report, error) {
+	o = o.fill()
+	_, txns := workload(o)
+	base := baseConfig(o)
+	ps := computePartition(txns, base.MinSupport, base.TotalLines, base.AppNodes)
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Pass-2 execution time vs message block size (simple swapping, 13MB-equivalent limit, scale=%.2f)", o.Scale),
+		"block", "exec [s]", "messages", "bytes [MB]")
+	for _, bs := range []int{1024, 4096, 16384} {
+		cfg := base
+		cfg.LimitBytes = limitBytes(ps, 1)
+		cfg.Policy = memtable.SimpleSwap
+		cfg.Backend = core.BackendRemote
+		cfg.Net.BlockSize = bs
+		info, err := runOne(o, cfg, txns)
+		if err != nil {
+			return nil, fmt.Errorf("block sweep %d: %w", bs, err)
+		}
+		t := info.Result.Pass2Time.Seconds()
+		o.progress("block-sweep: block=%d -> %.1fs", bs, t)
+		tbl.Add(fmt.Sprintf("%dB", bs), fmt.Sprintf("%.1f", t),
+			fmt.Sprint(info.Result.Messages),
+			fmt.Sprintf("%.1f", float64(info.Result.Bytes)/(1<<20)))
+	}
+	return &Report{
+		ID:        "block-sweep",
+		Title:     "Message block size ablation",
+		PaperNote: "the paper fixes the message block at 4 KB; the swap unit (a hash line) fits one block",
+		Table:     tbl,
+	}, nil
+}
+
+// EvictionSweep ablates the paper's LRU choice for the swap-out victim
+// ("The hash line swapped out is selected using a LRU algorithm") against
+// FIFO and Random selection, under simple swapping where the fault count is
+// directly exposed to the policy.
+func EvictionSweep(o Options) (*Report, error) {
+	o = o.fill()
+	_, txns := workload(o)
+	base := baseConfig(o)
+	ps := computePartition(txns, base.MinSupport, base.TotalLines, base.AppNodes)
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Pass-2 execution time vs eviction policy (simple swapping, 13MB-equivalent limit, scale=%.2f)", o.Scale),
+		"policy", "exec [s]", "max faults/node")
+	times := map[string]float64{}
+	for _, ev := range []memtable.Eviction{memtable.LRU, memtable.FIFO, memtable.Random} {
+		cfg := base
+		cfg.LimitBytes = limitBytes(ps, 1)
+		cfg.Policy = memtable.SimpleSwap
+		cfg.Backend = core.BackendRemote
+		cfg.Eviction = ev
+		info, err := runOne(o, cfg, txns)
+		if err != nil {
+			return nil, fmt.Errorf("eviction sweep %v: %w", ev, err)
+		}
+		t := info.Result.Pass2Time.Seconds()
+		times[ev.String()] = t
+		o.progress("eviction-sweep: %v -> %.1fs (%d faults)", ev, t, info.Result.MaxPagefaults)
+		tbl.Add(ev.String(), fmt.Sprintf("%.1f", t), fmt.Sprint(info.Result.MaxPagefaults))
+	}
+	return &Report{
+		ID:        "eviction-sweep",
+		Title:     "Eviction policy ablation (the paper's LRU choice)",
+		PaperNote: "the paper selects swap-out victims with LRU; replacements are also 'decided by LRU manner'",
+		Table:     tbl,
+		Notes: []string{
+			fmt.Sprintf("lru vs random: %s", stats.Ratio(times["random"], times["lru"])),
+		},
+	}, nil
+}
+
+// Speedup reproduces the scalability claim of §3.3 ("When the PC cluster
+// using 100 PCs is employed for this problem reasonably good performance
+// improvement is [obtained]"): pass-2 execution time as application nodes
+// grow, without memory limits.
+func Speedup(o Options) (*Report, error) {
+	o = o.fill()
+	p := quest.PaperParams(o.Scale)
+	p.Seed = o.Seed
+	txns := quest.Generate(p)
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Pass-2 execution time vs application nodes (no memory limit, scale=%.2f)", o.Scale),
+		"app nodes", "exec [s]", "speedup", "efficiency")
+	var t1 float64
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		cfg := baseConfig(o)
+		cfg.AppNodes = n
+		cfg.MemNodes = 0
+		cfg.LimitBytes = 0
+		cfg.Backend = core.BackendNone
+		info, err := core.Run(cfg, quest.Partition(txns, n))
+		if err != nil {
+			return nil, fmt.Errorf("speedup n=%d: %w", n, err)
+		}
+		t := info.Result.Pass2Time.Seconds()
+		if n == 1 {
+			t1 = t
+		}
+		sp := t1 / t
+		o.progress("speedup: n=%d -> %.1fs (%.2fx)", n, t, sp)
+		tbl.Add(fmt.Sprint(n), fmt.Sprintf("%.1f", t),
+			fmt.Sprintf("%.2fx", sp), fmt.Sprintf("%.0f%%", 100*sp/float64(n)))
+	}
+	return &Report{
+		ID:        "speedup",
+		Title:     "HPA scalability across application nodes (§3.3's claim)",
+		PaperNote: "the pilot system showed 'reasonably good performance improvement' scaling to 100 PCs",
+		Table:     tbl,
+	}, nil
+}
+
+// HashSkew ablates the candidate-partitioning hash function. The paper's
+// Table 3 shows a ≈9.8% spread across nodes "because some amount of skew
+// usually exists in transaction data"; our default FNV-1a hash mixes well
+// enough to erase that spread, so this experiment also partitions with a
+// 1990s-style polynomial hash to recreate the era's imbalance and show its
+// effect on pass-2 time (the busiest node finishes last).
+func HashSkew(o Options) (*Report, error) {
+	o = o.fill()
+	_, txns := workload(o)
+	base := baseConfig(o)
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Partitioning-hash ablation (no memory limit, scale=%.2f)", o.Scale),
+		"hash", "spread (max-min)/mean", "exec [s]")
+	for _, h := range []hpa.HashKind{hpa.HashFNV, hpa.HashAdditive} {
+		cfg := base
+		cfg.Hash = h
+		cfg.LimitBytes = 0
+		cfg.Backend = core.BackendNone
+		cfg.MemNodes = 0
+		info, err := runOne(o, cfg, txns)
+		if err != nil {
+			return nil, fmt.Errorf("hash skew %v: %w", h, err)
+		}
+		var xs []float64
+		for _, ns := range info.Result.PerNode {
+			xs = append(xs, float64(ns.CandidatesPass2))
+		}
+		t := info.Result.Pass2Time.Seconds()
+		o.progress("hash-skew: %v -> spread %.1f%%, %.1fs", h, stats.Skew(xs), t)
+		tbl.Add(h.String(), fmt.Sprintf("%.1f%%", stats.Skew(xs)), fmt.Sprintf("%.1f", t))
+	}
+	return &Report{
+		ID:        "hash-skew",
+		Title:     "Candidate-partitioning hash ablation (Table 3's spread)",
+		PaperNote: "paper's per-node candidate counts spread ≈9.8% of the mean under transaction skew",
+		Table:     tbl,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/itemset"
+	"repro/internal/quest"
+)
+
+// Calibration is the pass-2 partition profile of a workload: how many
+// candidate 2-itemsets exist, how they distribute over application nodes,
+// and hence how many bytes of candidate memory the busiest node needs.
+// Memory-limit labels ("12MB".."15MB") are derived from it.
+type Calibration struct {
+	L1                int
+	TotalC2           int
+	PerNode           []int
+	UsagePerNodeBytes int64
+}
+
+// Calibrate computes the calibration for the §5.1 workload at the given
+// options' scale.
+func Calibrate(o Options) Calibration {
+	o = o.fill()
+	_, txns := workload(o)
+	cfg := baseConfig(o)
+	ps := computePartition(txns, cfg.MinSupport, cfg.TotalLines, cfg.AppNodes)
+	return Calibration{
+		L1:                ps.L1,
+		TotalC2:           ps.TotalC2,
+		PerNode:           ps.PerNode,
+		UsagePerNodeBytes: ps.UsagePerNode,
+	}
+}
+
+// LimitBytes maps a paper limit label ("12MB".."15MB") to bytes at this
+// calibration's scale. It panics on unknown labels.
+func (c Calibration) LimitBytes(label string) int64 {
+	for i, lbl := range limitLabels {
+		if lbl == label {
+			return int64(limitFractions[i] * float64(c.UsagePerNodeBytes))
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown limit label %q", label))
+}
+
+// BaseConfig exposes the §5.1 cluster configuration (8 app nodes, 16 memory
+// nodes, minsup 0.1%, 800k hash lines, pass-2 focus) for external harnesses
+// such as the repository benchmarks.
+func BaseConfig(o Options) core.Config { return baseConfig(o.fill()) }
+
+// WorkloadParts exposes the §5.1 transaction workload at the options'
+// scale, already partitioned round-robin across the application nodes.
+func WorkloadParts(o Options) [][]itemset.Itemset {
+	o = o.fill()
+	_, txns := workload(o)
+	return quest.Partition(txns, o.AppNodes)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import "fmt"
+
+// Runner regenerates one table or figure.
+type Runner func(Options) (*Report, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Runner
+	// Core marks the experiments that correspond directly to a table or
+	// figure in the paper (as opposed to text-claim ablations).
+	Core bool
+}
+
+// Registry lists every experiment in presentation order.
+func Registry() []Entry {
+	return []Entry{
+		{"table2", "Itemset counts at each pass", Table2, true},
+		{"table3", "Candidate 2-itemsets per node", Table3, true},
+		{"fig3", "Execution time vs memory-available nodes", Fig3, true},
+		{"table4", "Per-pagefault execution time", Table4, true},
+		{"fig4", "Disk vs simple swapping vs remote update", Fig4, true},
+		{"fig5", "Dynamic memory migration", Fig5, true},
+		{"speedup", "HPA scalability across application nodes", Speedup, false},
+		{"monitor-sweep", "Monitoring interval ablation", MonitorSweep, false},
+		{"disk-profiles", "Swap-device generations", DiskProfiles, false},
+		{"block-sweep", "Message block size ablation", BlockSizeSweep, false},
+		{"eviction-sweep", "Eviction policy ablation", EvictionSweep, false},
+		{"hash-skew", "Candidate-partitioning hash ablation", HashSkew, false},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apriori"
+	"repro/internal/quest"
+	"repro/internal/stats"
+)
+
+// Table2 reproduces Table 2: the number of candidate (C) and large (L)
+// itemsets at each pass. The paper ran 10,000,000 transactions over 5,000
+// items at 0.7% minimum support; the transaction count scales, the rest is
+// identical. The signature to reproduce: pass 2's candidate count dwarfs
+// every other pass, and the procedure terminates after a handful of passes.
+func Table2(o Options) (*Report, error) {
+	o = o.fill()
+	p := quest.PaperParams(o.Scale * 10) // paper's Table 2 run used D=10M = 10× the §5.1 run
+	p.Seed = o.Seed
+	p.Transactions = int(10_000_000 * o.Scale)
+	// The sequential full-pass mine is O(D · C(T,k)) per pass; cap D so the
+	// harness stays tractable — pass-count structure is scale-free (itemset
+	// frequencies, not transaction count, determine C/L per pass).
+	const table2Cap = 120_000
+	if p.Transactions > table2Cap {
+		p.Transactions = table2Cap
+	}
+	txns := quest.Generate(p)
+	o.progress("table2: mining %d transactions at 0.7%% support", len(txns))
+	res, err := apriori.Mine(txns, apriori.Config{MinSupport: 0.007})
+	if err != nil {
+		return nil, err
+	}
+
+	// Paper's reference values.
+	paperC := map[int]string{1: "-", 2: "522753", 3: "19", 4: "7", 5: "1"}
+	paperL := map[int]string{1: "1023", 2: "32", 3: "19", 4: "7", 5: "0"}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Candidate and large itemsets per pass (D=%d, N=%d, minsup=0.7%%)", len(txns), p.Items),
+		"pass", "C (ours)", "L (ours)", "C (paper)", "L (paper)")
+	for _, ps := range res.Passes {
+		pc, pl := paperC[ps.K], paperL[ps.K]
+		if pc == "" {
+			pc, pl = "-", "-"
+		}
+		tbl.Add(fmt.Sprint(ps.K), fmt.Sprint(ps.Candidates), fmt.Sprint(ps.Large), pc, pl)
+	}
+	rep := &Report{
+		ID:        "table2",
+		Title:     "Itemset counts at each pass",
+		PaperNote: "pass 2 candidates (522,753) dominate all other passes by 4+ orders of magnitude",
+		Table:     tbl,
+	}
+	if len(res.Passes) >= 2 {
+		c2 := res.Passes[1].Candidates
+		dominant := true
+		for i, ps := range res.Passes {
+			if i != 1 && ps.Candidates >= c2 {
+				dominant = false
+			}
+		}
+		rep.Notes = append(rep.Notes,
+			fmt.Sprintf("pass-2 dominance holds: %v (C2=%d)", dominant, c2))
+	}
+	return rep, nil
+}
+
+// Table3 reproduces Table 3: the distribution of candidate 2-itemsets
+// across the application nodes under HPA's hash partitioning. The paper saw
+// 4,871,881 candidates split unevenly (582,149–641,243 per node, ≈9.8%
+// spread) across 8 nodes.
+func Table3(o Options) (*Report, error) {
+	o = o.fill()
+	_, txns := workload(o)
+	cfg := baseConfig(o)
+	ps := computePartition(txns, cfg.MinSupport, cfg.TotalLines, cfg.AppNodes)
+
+	paperPerNode := []int{602559, 641243, 582149, 614412, 604851, 596359, 622679, 607629}
+	tbl := stats.NewTable(
+		fmt.Sprintf("Candidate 2-itemsets per node (|L1|=%d, total C2=%d)", ps.L1, ps.TotalC2),
+		"node", "candidates (ours)", "candidates (paper)")
+	var xs []float64
+	for i, n := range ps.PerNode {
+		paper := "-"
+		if i < len(paperPerNode) {
+			paper = fmt.Sprint(paperPerNode[i])
+		}
+		tbl.Add(fmt.Sprintf("node %d", i+1), fmt.Sprint(n), paper)
+		xs = append(xs, float64(n))
+	}
+	tbl.Add("total", fmt.Sprint(ps.TotalC2), "4871881")
+	return &Report{
+		ID:        "table3",
+		Title:     "Hash-partitioned candidate distribution",
+		PaperNote: "assignment by hash is uneven (skew ≈9.8% of mean) because transaction data is skewed",
+		Table:     tbl,
+		Notes: []string{
+			fmt.Sprintf("our spread (max-min)/mean = %.1f%%", stats.Skew(xs)),
+			fmt.Sprintf("per-node candidate memory at the busiest node: %.2f MB (×24 B)",
+				float64(ps.UsagePerNode)/(1<<20)),
+		},
+	}, nil
+}

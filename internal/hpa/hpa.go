@@ -1,0 +1,345 @@
+// Package hpa implements Hash Partitioned Apriori (Shintani & Kitsuregawa)
+// on the simulated cluster, the parallel mining algorithm of §2.2:
+// candidate itemsets are partitioned across processors by a hash function;
+// during counting every node enumerates the k-subsets of its local
+// transactions and ships each to the owning processor, which probes its
+// candidate hash table and increments matches. Each node runs two processes
+// — a sender scanning the local transaction file and a receiver owning the
+// hash table — exactly as the pilot-system implementation did (§3.3).
+//
+// The receiver's hash table is a memtable.Table, so pass 2 runs under a
+// memory-usage limit with whichever pager (remote memory or disk) the
+// environment supplies.
+package hpa
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/apriori"
+	"repro/internal/cluster"
+	"repro/internal/itemset"
+	"repro/internal/memtable"
+	"repro/internal/remotemem"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// CPUCosts are the per-operation compute charges, calibrated to the
+// 200 MHz Pentium Pro nodes so that the no-limit pass 2 of the paper's
+// workload takes ≈247 s (Table 4: Exec − Diff).
+type CPUCosts struct {
+	Pass1Item sim.Duration // per item occurrence counted in pass 1
+	CandGen   sim.Duration // per candidate generated (join + hash + route)
+	SubsetGen sim.Duration // per k-subset generated, hashed, batched
+	Probe     sim.Duration // per hash-table probe at the receiver
+	Insert    sim.Duration // per hash-table insert during build
+	TxnRead   sim.Duration // per transaction read from the local data disk
+}
+
+// DefaultCPUCosts returns the calibrated charges.
+func DefaultCPUCosts() CPUCosts {
+	return CPUCosts{
+		Pass1Item: 2 * sim.Microsecond,
+		CandGen:   10 * sim.Microsecond,
+		SubsetGen: 8 * sim.Microsecond,
+		Probe:     18 * sim.Microsecond,
+		Insert:    12 * sim.Microsecond,
+		TxnRead:   20 * sim.Microsecond,
+	}
+}
+
+// HashKind selects the candidate-partitioning hash function.
+type HashKind int
+
+const (
+	// HashFNV partitions with the 64-bit FNV-1a hash (default): modern,
+	// well-mixing, near-perfect balance.
+	HashFNV HashKind = iota
+	// HashAdditive partitions with a 1990s-style polynomial hash
+	// (Σ itemᵢ·8191ⁱ): cheap, but its structure interacts with skewed item
+	// distributions, producing the uneven per-node candidate counts the
+	// paper's Table 3 exhibits.
+	HashAdditive
+)
+
+func (h HashKind) String() string {
+	if h == HashAdditive {
+		return "additive-8191"
+	}
+	return "fnv-1a"
+}
+
+// HashItemset applies the selected hash to a canonical itemset.
+func (h HashKind) HashItemset(s itemset.Itemset) uint64 {
+	if h == HashAdditive {
+		var v uint64
+		for _, it := range s {
+			v = v*8191 + uint64(uint32(it))
+		}
+		return v
+	}
+	return s.Hash()
+}
+
+// HashPairOf applies the selected hash to the 2-itemset {a,b}, a < b,
+// without allocating.
+func (h HashKind) HashPairOf(a, b itemset.Item) uint64 {
+	if h == HashAdditive {
+		return uint64(uint32(a))*8191 + uint64(uint32(b))
+	}
+	return itemset.HashPair(a, b)
+}
+
+// Params configures one HPA run.
+type Params struct {
+	MinSupport float64
+	TotalLines int // hash lines across all nodes (paper: 800,000)
+	LimitBytes int64
+	Policy     memtable.Policy
+	Eviction   memtable.Eviction // victim selection (default LRU)
+	Hash       HashKind          // candidate-partitioning hash (default FNV)
+	MaxPasses  int               // 0 = to completion
+	BatchItems int               // probe items per data block; 0 derives from block size
+	Costs      CPUCosts
+}
+
+// Validate reports the first invalid field.
+func (pr Params) Validate() error {
+	switch {
+	case pr.MinSupport <= 0 || pr.MinSupport > 1:
+		return errors.New("hpa: MinSupport must be in (0,1]")
+	case pr.TotalLines < 1:
+		return errors.New("hpa: need at least one hash line")
+	case pr.LimitBytes < 0:
+		return errors.New("hpa: negative memory limit")
+	case pr.MaxPasses < 0:
+		return errors.New("hpa: negative MaxPasses")
+	}
+	return nil
+}
+
+// Env is the prepared cluster environment an HPA run executes in.
+type Env struct {
+	K      *sim.Kernel
+	Net    *simnet.Network
+	Layout cluster.Layout
+	Coord  *cluster.Coordinator
+	// Pagers holds one pager per application node (nil entries allowed when
+	// LimitBytes is zero).
+	Pagers []memtable.Pager
+	// Clients, when the remote backend is used, lets the run attach tables
+	// for migration and collect client stats; entries may be nil.
+	Clients []*remotemem.Client
+	// Txns are the per-application-node transaction partitions.
+	Txns [][]itemset.Itemset
+	// CPUs, when set, holds one capacity-1 resource per cluster node (by
+	// node id); processes on a node contend on it for their compute, as on
+	// the uniprocessor Pentium Pro nodes. Nil entries leave compute
+	// uncontended.
+	CPUs []*sim.Resource
+}
+
+// NodeStats captures one application node's counters for a run.
+type NodeStats struct {
+	Node              int
+	CandidatesPass2   int // candidate 2-itemsets assigned to this node (Table 3)
+	Pagefaults        uint64
+	Evictions         uint64
+	Updates           uint64
+	PeakResidentBytes int64
+	Migrations        uint64
+	RelocatedLines    uint64
+}
+
+// Result is the outcome of a parallel mining run.
+type Result struct {
+	Passes       []apriori.PassStats
+	Large        [][]itemset.Itemset
+	Support      map[string]int
+	MinCount     int
+	Transactions int
+
+	// PassTimes[k] is the virtual time pass k took (index 0 unused).
+	PassTimes []sim.Duration
+	// Pass2Time is PassTimes[2] when it exists (the paper's headline metric).
+	Pass2Time sim.Duration
+	TotalTime sim.Duration
+
+	PerNode []NodeStats
+
+	// MaxPagefaults is the busiest node's pagefault count in pass 2
+	// (Table 4's "Max").
+	MaxPagefaults uint64
+	// TotalUpdates across nodes in pass 2.
+	TotalUpdates uint64
+
+	Messages uint64
+	Bytes    uint64
+}
+
+// ToAprioriResult views the parallel result as a sequential one for
+// comparison with apriori.Mine via apriori.SameLarge.
+func (r *Result) ToAprioriResult() *apriori.Result {
+	return &apriori.Result{
+		Passes:       r.Passes,
+		Large:        r.Large,
+		Support:      r.Support,
+		MinCount:     r.MinCount,
+		Transactions: r.Transactions,
+	}
+}
+
+// Pending tracks an in-flight run started with Start.
+type Pending struct {
+	res      *Result
+	errs     []error
+	finished int
+	nApp     int
+	// OnAllDone runs (in simulation context) when every application node has
+	// finished or failed; the environment owner uses it to stop monitors.
+	OnAllDone func()
+
+	// candCache shares the deterministic per-pass candidate generation
+	// across nodes: every node performs (and is charged for) the same join,
+	// so the host computes it once. Keyed by pass number.
+	candPass  int
+	candCache *passCandidates
+	candHash  HashKind
+}
+
+// passCandidates is the precomputed candidate set of one pass.
+type passCandidates struct {
+	sets  []itemset.Itemset
+	keys  []string
+	lines []int32
+}
+
+// candidatesFor returns (computing on first request per pass) the candidate
+// set derived from the previous pass's large itemsets.
+func (pd *Pending) candidatesFor(k int, prevLarge []itemset.Itemset, totalLines int) *passCandidates {
+	// candHash is set once at Start from Params.Hash.
+	if pd.candPass == k && pd.candCache != nil {
+		return pd.candCache
+	}
+	sets := itemset.AprioriGen(prevLarge)
+	pc := &passCandidates{
+		sets:  sets,
+		keys:  make([]string, len(sets)),
+		lines: make([]int32, len(sets)),
+	}
+	for i, c := range sets {
+		pc.keys[i] = c.Key()
+		pc.lines[i] = int32(pd.candHash.HashItemset(c) % uint64(totalLines))
+	}
+	pd.candPass = k
+	pd.candCache = pc
+	return pc
+}
+
+// Err returns the first node failure, if any.
+func (pd *Pending) Err() error {
+	if len(pd.errs) > 0 {
+		return pd.errs[0]
+	}
+	return nil
+}
+
+// Result returns the run outcome after the kernel has drained.
+func (pd *Pending) Result() (*Result, error) {
+	if err := pd.Err(); err != nil {
+		return nil, err
+	}
+	if pd.finished != pd.nApp {
+		return nil, fmt.Errorf("hpa: only %d of %d nodes finished (deadlock or starvation)",
+			pd.finished, pd.nApp)
+	}
+	return pd.res, nil
+}
+
+func (pd *Pending) nodeDone(err error) {
+	if err != nil {
+		pd.errs = append(pd.errs, err)
+	}
+	pd.finished++
+	// Stop shared services when every node finished, or on the first failure
+	// (remaining nodes may be blocked forever on a barrier).
+	if pd.OnAllDone != nil && (pd.finished == pd.nApp || len(pd.errs) == 1 && err != nil) {
+		pd.OnAllDone()
+	}
+}
+
+// Start validates the environment and spawns one application process pair
+// per node. The caller then drives env.K.Run() and reads Pending.Result.
+func Start(env Env, params Params) (*Pending, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := env.Layout.Validate(); err != nil {
+		return nil, err
+	}
+	n := env.Layout.AppNodes
+	if len(env.Txns) != n {
+		return nil, fmt.Errorf("hpa: %d transaction partitions for %d nodes", len(env.Txns), n)
+	}
+	if params.LimitBytes > 0 {
+		if len(env.Pagers) != n {
+			return nil, fmt.Errorf("hpa: memory limit set but %d pagers for %d nodes", len(env.Pagers), n)
+		}
+		for i, pg := range env.Pagers {
+			if pg == nil {
+				return nil, fmt.Errorf("hpa: memory limit set but node %d has no pager", i)
+			}
+		}
+	}
+	if params.BatchItems == 0 {
+		params.BatchItems = (env.Net.Config().BlockSize - blockHeaderBytes) / probeItemWireBytes
+		if params.BatchItems < 1 {
+			params.BatchItems = 1
+		}
+	}
+	if params.Costs == (CPUCosts{}) {
+		params.Costs = DefaultCPUCosts()
+	}
+	total := 0
+	for _, part := range env.Txns {
+		total += len(part)
+	}
+	if total == 0 {
+		return nil, errors.New("hpa: no transactions")
+	}
+
+	pd := &Pending{
+		nApp:     n,
+		candHash: params.Hash,
+		res: &Result{
+			Large:        [][]itemset.Itemset{nil},
+			Support:      make(map[string]int),
+			MinCount:     apriori.MinCount(params.MinSupport, total),
+			Transactions: total,
+			PerNode:      make([]NodeStats, n),
+			PassTimes:    []sim.Duration{0},
+		},
+	}
+	for id := 0; id < n; id++ {
+		node := &appNode{
+			id:     id,
+			env:    env,
+			params: params,
+			pd:     pd,
+		}
+		proc := env.K.Go(fmt.Sprintf("app-%d", id), node.run)
+		if cpu := env.cpuOf(id); cpu != nil {
+			proc.BindCPU(cpu)
+		}
+	}
+	return pd, nil
+}
+
+// cpuOf returns the node's CPU resource, or nil when compute is uncontended.
+func (e Env) cpuOf(node int) *sim.Resource {
+	if node < len(e.CPUs) {
+		return e.CPUs[node]
+	}
+	return nil
+}

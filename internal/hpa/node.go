@@ -1,0 +1,387 @@
+package hpa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apriori"
+	"repro/internal/cluster"
+	"repro/internal/itemset"
+	"repro/internal/memtable"
+	"repro/internal/sim"
+)
+
+// Wire formats for the counting phase.
+
+// probeItem routes one k-subset occurrence to the candidate's hash line.
+type probeItem struct {
+	Line int32
+	Key  string
+}
+
+// dataBlock is a batch of probe items shipped in one message block.
+type dataBlock struct {
+	From  int
+	Items []probeItem
+}
+
+// dataDone marks the end of a sender's transaction scan.
+type dataDone struct {
+	From int
+}
+
+const (
+	blockHeaderBytes    = 16
+	probeItemWireBytes  = memtable.EntryWireBytes
+	countWireBytesPer   = 12 // pass-1 gather: item id + count
+	largeWireBytesPerKB = 16 // per large itemset in gather payloads (k items + count)
+)
+
+// localCount is a pass-1 gather payload.
+type localCount struct {
+	Items  []itemset.Item
+	Counts []int
+}
+
+// largeSet is a pass-k gather payload: this node's locally-determined large
+// itemsets with their global counts.
+type largeSet struct {
+	Sets   []itemset.Itemset
+	Counts []int
+}
+
+// appNode is the per-node state of a run.
+type appNode struct {
+	id     int
+	env    Env
+	params Params
+	pd     *Pending
+}
+
+// lineOf maps a canonical itemset hash to its global hash line.
+func (a *appNode) lineOf(h uint64) int32 {
+	return int32(h % uint64(a.params.TotalLines))
+}
+
+// hashOf applies the configured partitioning hash.
+func (a *appNode) hashOf(s itemset.Itemset) uint64 { return a.params.Hash.HashItemset(s) }
+
+// ownerOf maps a global line to its owning application node.
+func (a *appNode) ownerOf(line int32) int {
+	return int(line) % a.env.Layout.AppNodes
+}
+
+// localLine maps a global line to the owner's local line index.
+func (a *appNode) localLine(line int32) int {
+	return int(line) / a.env.Layout.AppNodes
+}
+
+// localLines is the number of lines this node owns.
+func (a *appNode) localLines() int {
+	n := a.env.Layout.AppNodes
+	return (a.params.TotalLines + n - 1 - a.id) / n
+}
+
+func (a *appNode) run(p *sim.Proc) {
+	if err := a.mine(p); err != nil {
+		a.pd.nodeDone(fmt.Errorf("node %d: %w", a.id, err))
+		return
+	}
+	a.pd.nodeDone(nil)
+}
+
+func (a *appNode) mine(p *sim.Proc) error {
+	res := a.pd.res
+	costs := a.params.Costs
+	coord := a.env.Coord
+	txns := a.env.Txns[a.id]
+	epoch := 0
+	nextEpoch := func() int { epoch++; return epoch }
+
+	passStart := p.Now()
+
+	// ---- Pass 1: count items locally, merge globally. ----
+	counts := make(map[itemset.Item]int)
+	for _, t := range txns {
+		p.Work(costs.TxnRead)
+		for _, it := range t {
+			p.Work(costs.Pass1Item)
+			counts[it]++
+		}
+	}
+	payload := localCount{
+		Items:  make([]itemset.Item, 0, len(counts)),
+		Counts: make([]int, 0, len(counts)),
+	}
+	for it := range counts {
+		payload.Items = append(payload.Items, it)
+	}
+	sort.Slice(payload.Items, func(i, j int) bool { return payload.Items[i] < payload.Items[j] })
+	for _, it := range payload.Items {
+		payload.Counts = append(payload.Counts, counts[it])
+	}
+	gathered := coord.GatherAll(p, a.id, nextEpoch(), payload, len(payload.Items)*countWireBytesPer)
+
+	global := make(map[itemset.Item]int)
+	for _, g := range gathered {
+		lc := g.(localCount)
+		for i, it := range lc.Items {
+			global[it] += lc.Counts[i]
+		}
+	}
+	var l1 []itemset.Itemset
+	for it, c := range global {
+		if c >= res.MinCount {
+			l1 = append(l1, itemset.Itemset{it})
+		}
+	}
+	sort.Slice(l1, func(i, j int) bool { return l1[i].Less(l1[j]) })
+	if a.id == 0 {
+		for _, is := range l1 {
+			res.Support[is.Key()] = global[is[0]]
+		}
+		res.Large = append(res.Large, l1)
+		res.Passes = append(res.Passes, apriori.PassStats{K: 1, Candidates: len(global), Large: len(l1)})
+	}
+	coord.Barrier(p, a.id, nextEpoch())
+	if a.id == 0 {
+		res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
+	}
+
+	// ---- Passes k ≥ 2. ----
+	prevLarge := l1
+	for k := 2; ; k++ {
+		if a.params.MaxPasses != 0 && k > a.params.MaxPasses {
+			break
+		}
+		passStart = p.Now()
+
+		// Phase A: every node generates all candidates, keeps its own. The
+		// join is deterministic and identical across nodes, so the host
+		// computes it once; each node is still charged for the work.
+		pc := a.pd.candidatesFor(k, prevLarge, a.params.TotalLines)
+		cands := pc.sets
+		p.Work(sim.Duration(len(cands)) * costs.CandGen)
+		if len(cands) == 0 {
+			if a.id == 0 {
+				res.Passes = append(res.Passes, apriori.PassStats{K: k})
+				res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
+			}
+			break
+		}
+
+		limit := a.params.LimitBytes
+		var pager memtable.Pager
+		if limit > 0 {
+			pager = a.env.Pagers[a.id]
+		}
+		table, err := memtable.New(memtable.Config{
+			Lines:      a.localLines(),
+			LimitBytes: limit,
+			Policy:     a.params.Policy,
+			Eviction:   a.params.Eviction,
+			RandSeed:   int64(a.id + 1),
+			ProbeCost:  costs.Probe,
+			InsertCost: costs.Insert,
+		}, pager)
+		if err != nil {
+			return err
+		}
+		if len(a.env.Clients) > a.id && a.env.Clients[a.id] != nil {
+			a.env.Clients[a.id].AttachTable(table)
+		}
+
+		mine := 0
+		for i := range cands {
+			line := pc.lines[i]
+			if a.ownerOf(line) != a.id {
+				continue
+			}
+			mine++
+			if err := table.Insert(p, a.localLine(line), pc.keys[i]); err != nil {
+				return err
+			}
+		}
+		if k == 2 {
+			a.pd.res.PerNode[a.id].Node = a.id
+			a.pd.res.PerNode[a.id].CandidatesPass2 = mine
+		}
+
+		// All tables built before counting traffic starts.
+		coord.Barrier(p, a.id, nextEpoch())
+
+		// Phase B: sender scans transactions; receiver (this process)
+		// counts.
+		sendErr := make([]error, 1)
+		sender := a.env.K.Go(fmt.Sprintf("sender-%d-p%d", a.id, k), func(sp *sim.Proc) {
+			sendErr[0] = a.runSender(sp, k, txns)
+		})
+		if cpu := a.env.cpuOf(a.id); cpu != nil {
+			sender.BindCPU(cpu)
+		}
+		if err := a.runReceiver(p, table); err != nil {
+			return err
+		}
+		if sendErr[0] != nil {
+			return sendErr[0]
+		}
+
+		// Phase C: collect counts, determine large locally, merge globally.
+		entries, err := table.Collect(p)
+		if err != nil {
+			return err
+		}
+		var ls largeSet
+		for _, e := range entries {
+			if int(e.Count) >= res.MinCount {
+				ls.Sets = append(ls.Sets, itemset.FromKey(e.Key))
+				ls.Counts = append(ls.Counts, int(e.Count))
+			}
+		}
+		gathered := coord.GatherAll(p, a.id, nextEpoch(), ls, len(ls.Sets)*largeWireBytesPerKB)
+
+		var large []itemset.Itemset
+		supports := make(map[string]int)
+		for _, g := range gathered {
+			o := g.(largeSet)
+			for i, s := range o.Sets {
+				large = append(large, s)
+				supports[s.Key()] = o.Counts[i]
+			}
+		}
+		sort.Slice(large, func(i, j int) bool { return large[i].Less(large[j]) })
+
+		// Record stats (node 0 records shared results; everyone their own).
+		st := table.Stats()
+		if k == 2 {
+			ns := &a.pd.res.PerNode[a.id]
+			ns.Pagefaults = st.Pagefaults
+			ns.Evictions = st.Evictions
+			ns.Updates = st.Updates
+			ns.PeakResidentBytes = st.PeakBytes
+		}
+		if a.id == 0 {
+			res.Large = append(res.Large, large)
+			res.Passes = append(res.Passes, apriori.PassStats{K: k, Candidates: len(cands), Large: len(large)})
+			for key, c := range supports {
+				res.Support[key] = c
+			}
+		}
+		coord.Barrier(p, a.id, nextEpoch())
+		if a.id == 0 {
+			res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
+		}
+		if len(large) == 0 {
+			break
+		}
+		prevLarge = large
+	}
+
+	// Client-lifetime stats (migrations can land in any pass).
+	if len(a.env.Clients) > a.id && a.env.Clients[a.id] != nil {
+		a.pd.res.PerNode[a.id].Migrations = a.env.Clients[a.id].Migrations()
+		a.pd.res.PerNode[a.id].RelocatedLines = a.env.Clients[a.id].RelocatedLines()
+	}
+
+	if a.id == 0 {
+		res.TotalTime = p.Now().Sub(0)
+		if len(res.PassTimes) > 2 {
+			res.Pass2Time = res.PassTimes[2]
+		}
+		for _, ns := range res.PerNode {
+			if ns.Pagefaults > res.MaxPagefaults {
+				res.MaxPagefaults = ns.Pagefaults
+			}
+			res.TotalUpdates += ns.Updates
+		}
+		res.Messages = a.env.Net.Messages()
+		res.Bytes = a.env.Net.Bytes()
+	}
+	return nil
+}
+
+// runSender scans the local transactions, enumerates k-subsets, batches them
+// per destination, and ships blocks; it ends by sending a done marker to
+// every application node.
+func (a *appNode) runSender(p *sim.Proc, k int, txns []itemset.Itemset) error {
+	costs := a.params.Costs
+	n := a.env.Layout.AppNodes
+	batches := make([][]probeItem, n)
+	flush := func(dest int) {
+		if len(batches[dest]) == 0 {
+			return
+		}
+		items := batches[dest]
+		batches[dest] = nil
+		a.env.Net.Send(p, a.id, dest, cluster.PortData,
+			dataBlock{From: a.id, Items: items},
+			blockHeaderBytes+len(items)*probeItemWireBytes)
+	}
+	emit := func(line int32, key string) {
+		dest := a.ownerOf(line)
+		batches[dest] = append(batches[dest], probeItem{Line: line, Key: key})
+		if len(batches[dest]) >= a.params.BatchItems {
+			flush(dest)
+		}
+	}
+	for _, t := range txns {
+		p.Work(costs.TxnRead)
+		if k == 2 {
+			// Fast path for the dominant pass: enumerate pairs directly.
+			for i := 0; i < len(t); i++ {
+				for j := i + 1; j < len(t); j++ {
+					p.Work(costs.SubsetGen)
+					emit(a.lineOf(a.params.Hash.HashPairOf(t[i], t[j])), pairKey(t[i], t[j]))
+				}
+			}
+			continue
+		}
+		itemset.Subsets(t, k, func(s itemset.Itemset) {
+			p.Work(costs.SubsetGen)
+			emit(a.lineOf(a.hashOf(s)), s.Key())
+		})
+	}
+	for dest := 0; dest < n; dest++ {
+		flush(dest)
+		a.env.Net.Send(p, a.id, dest, cluster.PortData, dataDone{From: a.id}, blockHeaderBytes)
+	}
+	return nil
+}
+
+// pairKey builds the canonical key of the 2-itemset {a,b} (a < b) without
+// constructing an Itemset; it must equal itemset.New(a, b).Key().
+func pairKey(a, b itemset.Item) string {
+	var buf [8]byte
+	buf[0] = byte(a)
+	buf[1] = byte(a >> 8)
+	buf[2] = byte(a >> 16)
+	buf[3] = byte(a >> 24)
+	buf[4] = byte(b)
+	buf[5] = byte(b >> 8)
+	buf[6] = byte(b >> 16)
+	buf[7] = byte(b >> 24)
+	return string(buf[:])
+}
+
+// runReceiver drains data blocks, probing the table for each item, until
+// every sender's done marker has arrived.
+func (a *appNode) runReceiver(p *sim.Proc, table *memtable.Table) error {
+	inbox := a.env.Net.Inbox(a.id, cluster.PortData)
+	remaining := a.env.Layout.AppNodes
+	for remaining > 0 {
+		m := inbox.Recv(p)
+		switch msg := m.Payload.(type) {
+		case dataBlock:
+			for _, item := range msg.Items {
+				if err := table.Probe(p, a.localLine(item.Line), item.Key); err != nil {
+					return err
+				}
+			}
+		case dataDone:
+			remaining--
+		default:
+			return fmt.Errorf("hpa: receiver %d: unexpected message %T", a.id, m.Payload)
+		}
+	}
+	return nil
+}

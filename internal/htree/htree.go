@@ -1,0 +1,196 @@
+// Package htree implements the hash tree of Agrawal & Srikant's Apriori: the
+// classic structure for counting which candidate k-itemsets occur in each
+// transaction. Interior nodes hash on the item at their depth; leaves hold
+// candidate lists and split when they grow past a threshold.
+package htree
+
+import (
+	"sort"
+
+	"repro/internal/itemset"
+)
+
+// Entry is a candidate itemset with its support count.
+type Entry struct {
+	Items itemset.Itemset
+	Count int
+
+	lastTxn uint64 // last transaction sequence counted, to suppress double counts
+}
+
+type node struct {
+	// A node is a leaf (entries active) until it splits (children active).
+	children []*node
+	entries  []*Entry
+	leaf     bool
+}
+
+// Tree is a hash tree over candidate k-itemsets.
+type Tree struct {
+	k       int
+	fanout  int
+	maxLeaf int
+	root    *node
+	size    int
+	txnSeq  uint64
+}
+
+// Option configures tree construction.
+type Option func(*Tree)
+
+// WithFanout sets the interior-node hash fanout (default 32).
+func WithFanout(f int) Option {
+	return func(t *Tree) {
+		if f >= 2 {
+			t.fanout = f
+		}
+	}
+}
+
+// WithMaxLeaf sets the leaf split threshold (default 16).
+func WithMaxLeaf(m int) Option {
+	return func(t *Tree) {
+		if m >= 1 {
+			t.maxLeaf = m
+		}
+	}
+}
+
+// New builds a hash tree over the candidate itemsets, which must all have
+// size k ≥ 1 and be canonical.
+func New(k int, candidates []itemset.Itemset, opts ...Option) *Tree {
+	if k < 1 {
+		panic("htree: k must be >= 1")
+	}
+	t := &Tree{k: k, fanout: 32, maxLeaf: 16, root: &node{leaf: true}}
+	for _, o := range opts {
+		o(t)
+	}
+	for _, c := range candidates {
+		if len(c) != k {
+			panic("htree: candidate size mismatch")
+		}
+		t.insert(c)
+	}
+	return t
+}
+
+// Len returns the number of candidates stored.
+func (t *Tree) Len() int { return t.size }
+
+// K returns the candidate size.
+func (t *Tree) K() int { return t.k }
+
+func (t *Tree) hash(it itemset.Item) int { return int(uint32(it)) % t.fanout }
+
+func (t *Tree) insert(c itemset.Itemset) {
+	n := t.root
+	depth := 0
+	for !n.leaf {
+		n = n.children[t.hash(c[depth])]
+		depth++
+	}
+	n.entries = append(n.entries, &Entry{Items: c})
+	t.size++
+	// Split overfull leaves while more items remain to hash on.
+	for n.leaf && len(n.entries) > t.maxLeaf && depth < t.k {
+		entries := n.entries
+		n.entries = nil
+		n.leaf = false
+		n.children = make([]*node, t.fanout)
+		for i := range n.children {
+			n.children[i] = &node{leaf: true}
+		}
+		for _, e := range entries {
+			c := n.children[t.hash(e.Items[depth])]
+			c.entries = append(c.entries, e)
+		}
+		// The entry we just inserted may have landed in a still-overfull
+		// child; continue splitting along its path.
+		n = n.children[t.hash(c[depth])]
+		depth++
+	}
+}
+
+// Lookup returns the entry for candidate c, or nil if absent.
+func (t *Tree) Lookup(c itemset.Itemset) *Entry {
+	if len(c) != t.k {
+		return nil
+	}
+	n := t.root
+	depth := 0
+	for !n.leaf {
+		n = n.children[t.hash(c[depth])]
+		depth++
+	}
+	for _, e := range n.entries {
+		if e.Items.Equal(c) {
+			return e
+		}
+	}
+	return nil
+}
+
+// CountTransaction increments the count of every stored candidate that is a
+// subset of txn (a canonical itemset), each at most once per call. This is
+// the pass-k counting step.
+func (t *Tree) CountTransaction(txn itemset.Itemset) {
+	if len(txn) < t.k {
+		return
+	}
+	t.txnSeq++
+	t.count(t.root, txn, 0, 0)
+}
+
+// count descends from node n; items txn[start:] are still available, and
+// depth items have been consumed on this path. Hash collisions can route a
+// path into a leaf whose entries do not share the consumed prefix, and two
+// paths can reach the same leaf; the per-transaction sequence mark plus a
+// full subset check keep counting exact.
+func (t *Tree) count(n *node, txn itemset.Itemset, start, depth int) {
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.lastTxn != t.txnSeq && txn.ContainsAll(e.Items) {
+				e.lastTxn = t.txnSeq
+				e.Count++
+			}
+		}
+		return
+	}
+	// Need k-depth more items; the last usable start position leaves enough.
+	for i := start; i <= len(txn)-(t.k-depth); i++ {
+		t.count(n.children[t.hash(txn[i])], txn, i+1, depth+1)
+	}
+}
+
+// Entries returns all entries (arbitrary order).
+func (t *Tree) Entries() []*Entry {
+	out := make([]*Entry, 0, t.size)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			out = append(out, n.entries...)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Frequent returns the itemsets whose count meets minCount, in lexicographic
+// order, along with their counts keyed by canonical key.
+func (t *Tree) Frequent(minCount int) ([]itemset.Itemset, map[string]int) {
+	var large []itemset.Itemset
+	counts := make(map[string]int)
+	for _, e := range t.Entries() {
+		if e.Count >= minCount {
+			large = append(large, e.Items)
+			counts[e.Items.Key()] = e.Count
+		}
+	}
+	sort.Slice(large, func(i, j int) bool { return large[i].Less(large[j]) })
+	return large, counts
+}

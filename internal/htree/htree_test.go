@@ -1,0 +1,200 @@
+package htree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+func randomItemsets(rng *rand.Rand, n, k, universe int) []itemset.Itemset {
+	if max := itemset.CountSubsets(universe, k); n > max {
+		n = max
+	}
+	set := itemset.NewSet()
+	for set.Len() < n {
+		items := make([]itemset.Item, 0, k)
+		for len(items) < k {
+			items = append(items, itemset.Item(rng.Intn(universe)))
+		}
+		if s := itemset.New(items...); len(s) == k {
+			set.Add(s)
+		}
+	}
+	return set.Slice()
+}
+
+func TestLookupFindsAllInserted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 3, 5} {
+		cands := randomItemsets(rng, 300, k, 50)
+		tree := New(k, cands, WithMaxLeaf(4), WithFanout(8))
+		if tree.Len() != len(cands) {
+			t.Fatalf("k=%d: Len=%d, want %d", k, tree.Len(), len(cands))
+		}
+		for _, c := range cands {
+			if tree.Lookup(c) == nil {
+				t.Fatalf("k=%d: %v lost after insertion", k, c)
+			}
+		}
+		if tree.Lookup(itemset.New(100, 101, 102, 103, 104)[:k]) != nil {
+			t.Errorf("k=%d: found never-inserted candidate", k)
+		}
+	}
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(4)
+		universe := 5 + rng.Intn(25)
+		cands := randomItemsets(rng, 5+rng.Intn(80), k, universe)
+		tree := New(k, cands, WithMaxLeaf(1+rng.Intn(6)), WithFanout(2+rng.Intn(10)))
+
+		want := map[string]int{}
+		for txn := 0; txn < 60; txn++ {
+			size := 1 + rng.Intn(12)
+			items := make([]itemset.Item, size)
+			for i := range items {
+				items[i] = itemset.Item(rng.Intn(universe))
+			}
+			tx := itemset.New(items...)
+			tree.CountTransaction(tx)
+			for _, c := range cands {
+				if tx.ContainsAll(c) {
+					want[c.Key()]++
+				}
+			}
+		}
+		for _, c := range cands {
+			got := tree.Lookup(c).Count
+			if got != want[c.Key()] {
+				t.Fatalf("trial %d k=%d: count(%v) = %d, want %d",
+					trial, k, c, got, want[c.Key()])
+			}
+		}
+	}
+}
+
+func TestCollisionNoDoubleCount(t *testing.T) {
+	// fanout 2 forces heavy collisions; candidate {1,3} appears once in
+	// txn {1,2,3} but multiple descent paths reach its leaf.
+	cands := []itemset.Itemset{itemset.New(1, 3), itemset.New(2, 3), itemset.New(1, 2)}
+	tree := New(2, cands, WithFanout(2), WithMaxLeaf(1))
+	tree.CountTransaction(itemset.New(1, 2, 3))
+	for _, c := range cands {
+		if got := tree.Lookup(c).Count; got != 1 {
+			t.Errorf("count(%v) = %d, want 1", c, got)
+		}
+	}
+}
+
+func TestShortTransactionIgnored(t *testing.T) {
+	tree := New(3, []itemset.Itemset{itemset.New(1, 2, 3)})
+	tree.CountTransaction(itemset.New(1, 2))
+	if got := tree.Lookup(itemset.New(1, 2, 3)).Count; got != 0 {
+		t.Errorf("short transaction counted: %d", got)
+	}
+}
+
+func TestFrequentThresholdAndOrder(t *testing.T) {
+	cands := []itemset.Itemset{itemset.New(1, 2), itemset.New(2, 3), itemset.New(3, 4)}
+	tree := New(2, cands)
+	txns := []itemset.Itemset{
+		itemset.New(1, 2, 3), // counts {1,2} and {2,3}
+		itemset.New(1, 2),    // counts {1,2}
+		itemset.New(3, 4),    // counts {3,4}
+	}
+	for _, tx := range txns {
+		tree.CountTransaction(tx)
+	}
+	large, counts := tree.Frequent(2)
+	if len(large) != 1 || !large[0].Equal(itemset.New(1, 2)) {
+		t.Fatalf("Frequent(2) = %v", large)
+	}
+	if counts[itemset.New(1, 2).Key()] != 2 {
+		t.Errorf("count = %d, want 2", counts[itemset.New(1, 2).Key()])
+	}
+	large, _ = tree.Frequent(1)
+	if len(large) != 3 {
+		t.Fatalf("Frequent(1) = %v", large)
+	}
+	for i := 1; i < len(large); i++ {
+		if !large[i-1].Less(large[i]) {
+			t.Errorf("Frequent output unsorted: %v", large)
+		}
+	}
+}
+
+func TestDeepSplitPaths(t *testing.T) {
+	// Many candidates sharing a long prefix force splits down to depth k.
+	var cands []itemset.Itemset
+	for i := 10; i < 60; i++ {
+		cands = append(cands, itemset.New(1, 2, itemset.Item(i)))
+	}
+	tree := New(3, cands, WithMaxLeaf(2), WithFanout(4))
+	for _, c := range cands {
+		if tree.Lookup(c) == nil {
+			t.Fatalf("%v lost in deep split", c)
+		}
+	}
+	txn := itemset.New(1, 2, 15, 30, 59)
+	tree.CountTransaction(txn)
+	for _, c := range cands {
+		want := 0
+		if txn.ContainsAll(c) {
+			want = 1
+		}
+		if got := tree.Lookup(c).Count; got != want {
+			t.Errorf("count(%v) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestEntriesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cands := randomItemsets(rng, 200, 2, 40)
+	tree := New(2, cands, WithMaxLeaf(3))
+	got := tree.Entries()
+	if len(got) != len(cands) {
+		t.Fatalf("Entries returned %d, want %d", len(got), len(cands))
+	}
+	seen := map[string]bool{}
+	for _, e := range got {
+		if seen[e.Items.Key()] {
+			t.Fatalf("duplicate entry %v", e.Items)
+		}
+		seen[e.Items.Key()] = true
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("k=0", func() { New(0, nil) })
+	mustPanic("size mismatch", func() { New(2, []itemset.Itemset{itemset.New(1)}) })
+}
+
+func BenchmarkCountTransaction(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	cands := randomItemsets(rng, 5000, 2, 500)
+	tree := New(2, cands)
+	txns := make([]itemset.Itemset, 256)
+	for i := range txns {
+		items := make([]itemset.Item, 10)
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(500))
+		}
+		txns[i] = itemset.New(items...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.CountTransaction(txns[i%len(txns)])
+	}
+}

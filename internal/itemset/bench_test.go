@@ -1,0 +1,68 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchLarge(n int) []Itemset {
+	out := make([]Itemset, n)
+	for i := range out {
+		out[i] = Itemset{Item(i)}
+	}
+	return out
+}
+
+func BenchmarkHashPair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HashPair(Item(i), Item(i+1))
+	}
+}
+
+func BenchmarkItemsetHashK4(b *testing.B) {
+	s := New(3, 17, 250, 4999)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Hash()
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	s := New(3, 17, 250, 4999)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}
+
+// BenchmarkAprioriGenPass2 measures the pass-2 join over 2,000 large
+// 1-itemsets (≈2M candidates), the paper's dominant generation step.
+func BenchmarkAprioriGenPass2(b *testing.B) {
+	large := benchLarge(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AprioriGen(large)
+	}
+}
+
+func BenchmarkSubsetsK2T20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item(rng.Intn(5000))
+	}
+	txn := New(items...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Subsets(txn, 2, func(Itemset) {})
+	}
+}
+
+func BenchmarkContainsAll(b *testing.B) {
+	txn := New(1, 5, 9, 13, 17, 21, 25, 29, 33, 37)
+	sub := New(5, 21, 37)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = txn.ContainsAll(sub)
+	}
+}

@@ -1,0 +1,146 @@
+package itemset
+
+import "sort"
+
+// Set is a collection of itemsets indexed by canonical key, used to hold a
+// pass's large itemsets for candidate pruning and membership checks.
+type Set struct {
+	m map[string]Itemset
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set { return &Set{m: make(map[string]Itemset)} }
+
+// SetOf builds a Set from the given itemsets.
+func SetOf(itemsets []Itemset) *Set {
+	s := NewSet()
+	for _, is := range itemsets {
+		s.Add(is)
+	}
+	return s
+}
+
+// Add inserts the itemset.
+func (s *Set) Add(is Itemset) { s.m[is.Key()] = is }
+
+// Has reports membership.
+func (s *Set) Has(is Itemset) bool { _, ok := s.m[is.Key()]; return ok }
+
+// Len returns the number of itemsets.
+func (s *Set) Len() int { return len(s.m) }
+
+// Slice returns the itemsets in deterministic (lexicographic) order.
+func (s *Set) Slice() []Itemset {
+	out := make([]Itemset, 0, len(s.m))
+	for _, is := range s.m {
+		out = append(out, is)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AprioriGen implements the classic Apriori candidate generation: join the
+// large (k-1)-itemsets with themselves on their first k-2 items, then prune
+// any candidate with a (k-1)-subset that is not large. The input must contain
+// only canonical itemsets all of size k-1; the output contains canonical
+// candidates of size k in lexicographic order.
+func AprioriGen(large []Itemset) []Itemset {
+	if len(large) == 0 {
+		return nil
+	}
+	k1 := len(large[0])
+	sorted := make([]Itemset, len(large))
+	copy(sorted, large)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	largeSet := SetOf(sorted)
+
+	var candidates []Itemset
+	for i := 0; i < len(sorted); i++ {
+		a := sorted[i]
+		for j := i + 1; j < len(sorted); j++ {
+			b := sorted[j]
+			if !samePrefix(a, b, k1-1) {
+				break // sorted order: no further j shares the prefix
+			}
+			// Join: a ∪ {b[k1-1]}; since a.Less(b) and prefixes match,
+			// b's last item is greater than a's last item.
+			cand := make(Itemset, k1+1)
+			copy(cand, a)
+			cand[k1] = b[k1-1]
+			if prunable(cand, largeSet) {
+				continue
+			}
+			candidates = append(candidates, cand)
+		}
+	}
+	return candidates
+}
+
+func samePrefix(a, b Itemset, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prunable reports whether any (k-1)-subset of cand is missing from large.
+// Subsets formed by dropping the last two items need not be checked: they
+// are prefixes of the two join parents, which are large by construction.
+func prunable(cand Itemset, large *Set) bool {
+	for i := 0; i < len(cand)-2; i++ {
+		if !large.Has(cand.Without(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Subsets enumerates every k-subset of the transaction (canonical itemset)
+// and calls fn with a reused scratch buffer; fn must copy if it retains the
+// slice. It is the counting-phase primitive: each emitted subset is a
+// potential candidate occurrence.
+func Subsets(txn Itemset, k int, fn func(Itemset)) {
+	if k <= 0 || k > len(txn) {
+		return
+	}
+	idx := make([]int, k)
+	buf := make(Itemset, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		for i, j := range idx {
+			buf[i] = txn[j]
+		}
+		fn(buf)
+		// Advance combination.
+		i := k - 1
+		for i >= 0 && idx[i] == len(txn)-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// CountSubsets returns C(len(txn), k) without enumerating.
+func CountSubsets(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}

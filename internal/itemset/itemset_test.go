@@ -1,0 +1,255 @@
+package itemset
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCanonicalizes(t *testing.T) {
+	s := New(5, 1, 3, 1, 5)
+	want := Itemset{1, 3, 5}
+	if !s.Equal(want) {
+		t.Errorf("New(5,1,3,1,5) = %v, want %v", s, want)
+	}
+	if !s.IsCanonical() {
+		t.Error("result not canonical")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	prop := func(raw []int32) bool {
+		s := New(raw...)
+		return FromKey(s.Key()).Equal(s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 3)
+	c := New(1, 2, 3)
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Error("distinct itemsets share keys")
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	s := New(1, 3, 5, 7, 9)
+	cases := []struct {
+		sub  Itemset
+		want bool
+	}{
+		{New(), true},
+		{New(1), true},
+		{New(9), true},
+		{New(3, 7), true},
+		{New(1, 3, 5, 7, 9), true},
+		{New(2), false},
+		{New(1, 2), false},
+		{New(9, 11), false},
+	}
+	for _, c := range cases {
+		if got := s.ContainsAll(c.sub); got != c.want {
+			t.Errorf("%v.ContainsAll(%v) = %v, want %v", s, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	sets := []Itemset{New(1), New(1, 2), New(2), New(1, 3), New(), New(2, 1)}
+	for _, a := range sets {
+		if a.Less(a) {
+			t.Errorf("%v.Less(itself) = true", a)
+		}
+		for _, b := range sets {
+			if a.Less(b) && b.Less(a) {
+				t.Errorf("Less not antisymmetric for %v, %v", a, b)
+			}
+			if !a.Less(b) && !b.Less(a) && !a.Equal(b) {
+				t.Errorf("Less not total for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestHashPairMatchesHash(t *testing.T) {
+	prop := func(a, b int32) bool {
+		if a == b {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return HashPair(lo, hi) == New(lo, hi).Hash()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPack2RoundTrip(t *testing.T) {
+	prop := func(a, b int32) bool {
+		x, y := Unpack2(Pack2(a, b))
+		return x == a && y == b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithout(t *testing.T) {
+	s := New(1, 2, 3, 4)
+	if got := s.Without(0); !got.Equal(New(2, 3, 4)) {
+		t.Errorf("Without(0) = %v", got)
+	}
+	if got := s.Without(3); !got.Equal(New(1, 2, 3)) {
+		t.Errorf("Without(3) = %v", got)
+	}
+	if !s.Equal(New(1, 2, 3, 4)) {
+		t.Error("Without mutated the receiver")
+	}
+}
+
+func TestSubsetsEnumeratesAllCombinations(t *testing.T) {
+	txn := New(1, 2, 3, 4, 5)
+	for k := 1; k <= 5; k++ {
+		seen := map[string]bool{}
+		Subsets(txn, k, func(s Itemset) {
+			if !s.IsCanonical() {
+				t.Fatalf("non-canonical subset %v", s)
+			}
+			seen[s.Clone().Key()] = true
+		})
+		if len(seen) != CountSubsets(5, k) {
+			t.Errorf("k=%d: %d distinct subsets, want C(5,%d)=%d",
+				k, len(seen), k, CountSubsets(5, k))
+		}
+	}
+}
+
+func TestSubsetsDegenerate(t *testing.T) {
+	called := false
+	Subsets(New(1, 2), 3, func(Itemset) { called = true })
+	if called {
+		t.Error("Subsets(k>n) invoked fn")
+	}
+	Subsets(New(1, 2), 0, func(Itemset) { called = true })
+	if called {
+		t.Error("Subsets(k=0) invoked fn")
+	}
+}
+
+func TestCountSubsets(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{20, 2, 190}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := CountSubsets(c.n, c.k); got != c.want {
+			t.Errorf("CountSubsets(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+// naiveGen is the textbook O(|L|²·k) candidate generation used to verify
+// AprioriGen: all unions of pairs of large (k-1)-itemsets with size k, whose
+// every (k-1)-subset is large.
+func naiveGen(large []Itemset) []Itemset {
+	largeSet := SetOf(large)
+	seen := map[string]Itemset{}
+	for i := range large {
+		for j := range large {
+			if i == j {
+				continue
+			}
+			u := New(append(append([]Item{}, large[i]...), large[j]...)...)
+			if len(u) != len(large[i])+1 {
+				continue
+			}
+			ok := true
+			for d := 0; d < len(u); d++ {
+				if !largeSet.Has(u.Without(d)) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				seen[u.Key()] = u
+			}
+		}
+	}
+	out := make([]Itemset, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func TestAprioriGenAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		k1 := 1 + rng.Intn(3) // sizes 1..3
+		n := rng.Intn(12)
+		set := NewSet()
+		for i := 0; i < n; i++ {
+			items := make([]Item, 0, k1)
+			for len(items) < k1 {
+				items = append(items, Item(rng.Intn(8)))
+			}
+			if s := New(items...); len(s) == k1 {
+				set.Add(s)
+			}
+		}
+		large := set.Slice()
+		got := AprioriGen(large)
+		want := naiveGen(large)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k-1=%d, |L|=%d): got %d candidates, want %d\nL=%v\ngot=%v\nwant=%v",
+				trial, k1, len(large), len(got), len(want), large, got, want)
+		}
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d: candidate %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAprioriGenPass2Complete(t *testing.T) {
+	// From k=1 no pruning applies: C2 must be every pair.
+	large := []Itemset{New(1), New(2), New(3), New(4)}
+	got := AprioriGen(large)
+	if len(got) != 6 {
+		t.Fatalf("C2 from 4 large 1-itemsets = %d candidates, want 6: %v", len(got), got)
+	}
+}
+
+func TestAprioriGenEmpty(t *testing.T) {
+	if got := AprioriGen(nil); got != nil {
+		t.Errorf("AprioriGen(nil) = %v", got)
+	}
+}
+
+func TestSetSliceDeterministic(t *testing.T) {
+	s := NewSet()
+	s.Add(New(3))
+	s.Add(New(1))
+	s.Add(New(2))
+	a := s.Slice()
+	b := s.Slice()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Slice order not deterministic")
+	}
+	for i := 1; i < len(a); i++ {
+		if !a[i-1].Less(a[i]) {
+			t.Errorf("Slice not sorted: %v", a)
+		}
+	}
+}

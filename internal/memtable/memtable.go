@@ -1,0 +1,478 @@
+// Package memtable implements the candidate-itemset hash table whose memory
+// behaviour the paper studies: itemsets live in hash lines ("all itemsets
+// having the same hash value are assigned to the same hash line... connected
+// with each other to form a list"), each candidate accounts for 24 bytes,
+// and when total usage exceeds a configured limit, whole hash lines are
+// swapped out LRU-first through a Pager — to a remote node's memory or to a
+// local disk, depending on which pager is attached.
+package memtable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Entry is one candidate itemset (canonical key) with its support count.
+type Entry struct {
+	Key   string
+	Count int32
+}
+
+// Default cost accounting, matching §5.1 ("each candidate itemset occupies
+// 24 bytes in total (structure area + data area)").
+const (
+	EntryMemBytes  = 24 // resident memory per candidate
+	EntryWireBytes = 12 // serialized: packed items + count
+	LineWireHeader = 16 // per-line message framing
+)
+
+// Policy selects how the counting phase treats swapped-out lines.
+type Policy int
+
+const (
+	// SimpleSwap faults swapped-out lines back in on access (§4.3).
+	SimpleSwap Policy = iota
+	// RemoteUpdate pins swapped-out lines at their location and converts
+	// accesses into one-way update messages (§4.4).
+	RemoteUpdate
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SimpleSwap:
+		return "simple-swapping"
+	case RemoteUpdate:
+		return "remote-update"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Eviction selects the victim-selection policy. The paper uses LRU ("The
+// hash line swapped out is selected using a LRU algorithm"); FIFO and Random
+// exist for the ablation of that choice.
+type Eviction int
+
+const (
+	// LRU evicts the least-recently-used resident line (the paper's choice).
+	LRU Eviction = iota
+	// FIFO evicts the line that became resident earliest, ignoring use.
+	FIFO
+	// Random evicts a uniformly random resident line.
+	Random
+)
+
+func (e Eviction) String() string {
+	switch e {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Eviction(%d)", int(e))
+	}
+}
+
+// Location identifies where a swapped-out line lives: a memory-available
+// node (Node ≥ 0) or a disk slot (Node < 0).
+type Location struct {
+	Node int
+	Slot int
+}
+
+// Pager moves hash lines in and out of local memory. Implementations charge
+// all virtual-time costs (network, service, disk) on the calling process.
+type Pager interface {
+	// StoreOut ships a line out and returns where it was placed.
+	StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error)
+	// FetchIn retrieves a previously stored line, releasing the remote/disk
+	// copy.
+	FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error)
+	// Update applies a one-way count increment for key at the stored line
+	// (RemoteUpdate policy).
+	Update(p *sim.Proc, line int, loc Location, key string) error
+}
+
+// Stats are cumulative table counters.
+type Stats struct {
+	Inserts     uint64
+	Probes      uint64
+	Hits        uint64
+	Pagefaults  uint64 // synchronous fetch-ins (faults)
+	Evictions   uint64 // lines stored out
+	Updates     uint64 // one-way remote updates
+	PeakBytes   int64  // peak resident bytes
+	OutLines    int    // currently swapped-out lines
+	FaultedTime sim.Duration
+}
+
+// Config parameterizes a table.
+type Config struct {
+	Lines      int          // number of hash lines
+	LimitBytes int64        // resident budget; 0 = unlimited
+	Policy     Policy       // counting-phase behaviour for out lines
+	Eviction   Eviction     // victim selection (default LRU, as in the paper)
+	RandSeed   int64        // seed for the Random eviction policy
+	ProbeCost  sim.Duration // CPU per probe (search + compare)
+	InsertCost sim.Duration // CPU per insert (alloc + link)
+	EntryBytes int64        // accounting size per entry (default 24)
+}
+
+type lineState uint8
+
+const (
+	stateResident lineState = iota
+	stateOut
+)
+
+type line struct {
+	state   lineState
+	entries []Entry
+	loc     Location
+	bytes   int64 // accounted bytes (valid in both states)
+	// Residency-order intrusive list (LRU/FIFO victim selection).
+	prev, next int32
+	inLRU      bool
+	// Position in the resident slice (Random victim selection), -1 if out.
+	pos int32
+}
+
+// Table is a node-local candidate hash table. It is used by a single
+// simulation process at a time (as in the paper, one receiving process owns
+// the table).
+type Table struct {
+	cfg   Config
+	lines []line
+	pager Pager
+
+	resident int64
+	stats    Stats
+
+	// Residency-order doubly linked list; head = most recent (LRU) or most
+	// recently admitted (FIFO). tail is the victim for both.
+	head, tail int32
+	// residentIdx lists resident line ids for O(1) Random victim selection.
+	residentIdx []int32
+	rng         *rand.Rand
+}
+
+// New creates a table. A pager is required iff LimitBytes > 0.
+func New(cfg Config, pager Pager) (*Table, error) {
+	if cfg.Lines < 1 {
+		return nil, errors.New("memtable: need at least one line")
+	}
+	if cfg.LimitBytes > 0 && pager == nil {
+		return nil, errors.New("memtable: memory limit set but no pager attached")
+	}
+	if cfg.EntryBytes == 0 {
+		cfg.EntryBytes = EntryMemBytes
+	}
+	t := &Table{
+		cfg: cfg, lines: make([]line, cfg.Lines), pager: pager,
+		head: -1, tail: -1,
+		rng: rand.New(rand.NewSource(cfg.RandSeed + 1)),
+	}
+	for i := range t.lines {
+		t.lines[i].prev, t.lines[i].next = -1, -1
+		t.lines[i].pos = -1
+	}
+	return t, nil
+}
+
+// Lines returns the number of hash lines.
+func (t *Table) Lines() int { return len(t.lines) }
+
+// ResidentBytes returns current resident accounting.
+func (t *Table) ResidentBytes() int64 { return t.resident }
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats {
+	s := t.stats
+	s.OutLines = 0
+	for i := range t.lines {
+		if t.lines[i].state == stateOut {
+			s.OutLines++
+		}
+	}
+	return s
+}
+
+// --- LRU helpers ---
+
+func (t *Table) lruRemove(i int32) {
+	l := &t.lines[i]
+	if !l.inLRU {
+		return
+	}
+	// Slice bookkeeping for Random victim selection (swap-remove).
+	if p := l.pos; p >= 0 {
+		last := t.residentIdx[len(t.residentIdx)-1]
+		t.residentIdx[p] = last
+		t.lines[last].pos = p
+		t.residentIdx = t.residentIdx[:len(t.residentIdx)-1]
+		l.pos = -1
+	}
+	if l.prev >= 0 {
+		t.lines[l.prev].next = l.next
+	} else {
+		t.head = l.next
+	}
+	if l.next >= 0 {
+		t.lines[l.next].prev = l.prev
+	} else {
+		t.tail = l.prev
+	}
+	l.prev, l.next, l.inLRU = -1, -1, false
+}
+
+func (t *Table) lruPushFront(i int32) {
+	l := &t.lines[i]
+	if l.pos < 0 {
+		l.pos = int32(len(t.residentIdx))
+		t.residentIdx = append(t.residentIdx, i)
+	}
+	l.prev, l.next = -1, t.head
+	if t.head >= 0 {
+		t.lines[t.head].prev = i
+	}
+	t.head = i
+	if t.tail < 0 {
+		t.tail = i
+	}
+	l.inLRU = true
+}
+
+// touch records a use of line i: admission to the residency structures is
+// unconditional, but only LRU reorders on reuse (FIFO and Random ignore
+// recency).
+func (t *Table) touch(i int32) {
+	if !t.lines[i].inLRU {
+		t.lruPushFront(i)
+		return
+	}
+	if t.cfg.Eviction != LRU || t.head == i {
+		return
+	}
+	t.lruRemove(i)
+	t.lruPushFront(i)
+}
+
+// victim picks the next line to evict under the configured policy, or -1.
+func (t *Table) victim(protect int32) int32 {
+	switch t.cfg.Eviction {
+	case Random:
+		for tries := 0; tries < 8; tries++ {
+			if len(t.residentIdx) == 0 {
+				return -1
+			}
+			v := t.residentIdx[t.rng.Intn(len(t.residentIdx))]
+			if v != protect {
+				return v
+			}
+		}
+		// Only the protected line (or pathological luck) remains; fall back
+		// to the list tail logic below.
+		fallthrough
+	default: // LRU and FIFO both evict the list tail
+		v := t.tail
+		if v < 0 {
+			return -1
+		}
+		if v == protect {
+			return t.lines[v].prev // may be -1
+		}
+		return v
+	}
+}
+
+// --- residency management ---
+
+// WouldOverflow reports whether adding extra bytes exceeds the limit.
+func (t *Table) WouldOverflow(extra int64) bool {
+	return t.cfg.LimitBytes > 0 && t.resident+extra > t.cfg.LimitBytes
+}
+
+// evictUntil swaps out LRU-last lines until resident+incoming fits, always
+// keeping the protected line resident. It panics on pager errors becoming
+// visible (callers translate via runMining error paths).
+func (t *Table) evictUntil(p *sim.Proc, incoming int64, protect int32) error {
+	if t.cfg.LimitBytes == 0 {
+		return nil
+	}
+	for t.resident+incoming > t.cfg.LimitBytes {
+		victim := t.victim(protect)
+		if victim < 0 {
+			return nil // nothing evictable; allow transient overflow
+		}
+		if err := t.evict(p, victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) evict(p *sim.Proc, i int32) error {
+	l := &t.lines[i]
+	if l.state != stateResident {
+		return fmt.Errorf("memtable: evicting non-resident line %d", i)
+	}
+	loc, err := t.pager.StoreOut(p, int(i), l.entries)
+	if err != nil {
+		return fmt.Errorf("memtable: store-out of line %d: %w", i, err)
+	}
+	t.lruRemove(i)
+	l.state = stateOut
+	l.loc = loc
+	l.entries = nil
+	t.resident -= l.bytes
+	t.stats.Evictions++
+	return nil
+}
+
+// fault brings line i resident (making room first).
+func (t *Table) fault(p *sim.Proc, i int32) error {
+	l := &t.lines[i]
+	start := p.Now()
+	if err := t.evictUntil(p, l.bytes, i); err != nil {
+		return err
+	}
+	entries, err := t.pager.FetchIn(p, int(i), l.loc)
+	if err != nil {
+		return fmt.Errorf("memtable: fetch-in of line %d: %w", i, err)
+	}
+	l.state = stateResident
+	l.entries = entries
+	l.bytes = int64(len(entries)) * t.cfg.EntryBytes
+	t.resident += l.bytes
+	t.lruPushFront(i)
+	t.stats.Pagefaults++
+	t.stats.FaultedTime += p.Now().Sub(start)
+	t.notePeak()
+	return nil
+}
+
+func (t *Table) notePeak() {
+	if t.resident > t.stats.PeakBytes {
+		t.stats.PeakBytes = t.resident
+	}
+}
+
+// Insert adds a candidate entry (count 0) to the given line during the
+// build phase. Swapped-out lines are faulted back in regardless of policy
+// (pinning applies only to the counting phase).
+func (t *Table) Insert(p *sim.Proc, lineID int, key string) error {
+	if lineID < 0 || lineID >= len(t.lines) {
+		return fmt.Errorf("memtable: line %d out of range", lineID)
+	}
+	i := int32(lineID)
+	l := &t.lines[i]
+	if l.state == stateOut {
+		if err := t.fault(p, i); err != nil {
+			return err
+		}
+	}
+	p.Work(t.cfg.InsertCost)
+	l.entries = append(l.entries, Entry{Key: key})
+	l.bytes += t.cfg.EntryBytes
+	t.resident += t.cfg.EntryBytes
+	t.stats.Inserts++
+	t.touch(i)
+	t.notePeak()
+	return t.evictUntil(p, 0, i)
+}
+
+// Probe looks up key in the given line during the counting phase and
+// increments its count if present. Behaviour for swapped-out lines follows
+// the configured policy: SimpleSwap faults the line in; RemoteUpdate sends a
+// one-way update to the line's location.
+func (t *Table) Probe(p *sim.Proc, lineID int, key string) error {
+	if lineID < 0 || lineID >= len(t.lines) {
+		return fmt.Errorf("memtable: line %d out of range", lineID)
+	}
+	i := int32(lineID)
+	l := &t.lines[i]
+	t.stats.Probes++
+	if l.state == stateOut {
+		if t.cfg.Policy == RemoteUpdate {
+			p.Work(t.cfg.ProbeCost)
+			t.stats.Updates++
+			return t.pager.Update(p, lineID, l.loc, key)
+		}
+		if err := t.fault(p, i); err != nil {
+			return err
+		}
+	}
+	p.Work(t.cfg.ProbeCost)
+	for j := range l.entries {
+		if l.entries[j].Key == key {
+			l.entries[j].Count++
+			t.stats.Hits++
+			break
+		}
+	}
+	t.touch(i)
+	return nil
+}
+
+// Collect returns every entry in the table, faulting in any swapped-out
+// lines (for RemoteUpdate lines this retrieves the remotely accumulated
+// counts). It runs at the end of the counting phase; resident accounting may
+// transiently exceed the limit since no further evictions are useful.
+func (t *Table) Collect(p *sim.Proc) ([]Entry, error) {
+	var out []Entry
+	for i := range t.lines {
+		l := &t.lines[i]
+		if l.state == stateOut {
+			entries, err := t.pager.FetchIn(p, i, l.loc)
+			if err != nil {
+				return nil, fmt.Errorf("memtable: collect line %d: %w", i, err)
+			}
+			l.state = stateResident
+			l.entries = entries
+			l.bytes = int64(len(entries)) * t.cfg.EntryBytes
+			t.resident += l.bytes
+			t.lruPushFront(int32(i))
+			t.stats.Pagefaults++
+		}
+		out = append(out, l.entries...)
+	}
+	return out, nil
+}
+
+// Relocate updates the recorded location of a swapped-out line (used after
+// migration moves stored lines between memory-available nodes).
+func (t *Table) Relocate(lineID int, loc Location) error {
+	if lineID < 0 || lineID >= len(t.lines) {
+		return fmt.Errorf("memtable: line %d out of range", lineID)
+	}
+	l := &t.lines[lineID]
+	if l.state != stateOut {
+		return fmt.Errorf("memtable: relocating resident line %d", lineID)
+	}
+	l.loc = loc
+	return nil
+}
+
+// OutLines returns the ids and locations of all currently swapped-out lines.
+func (t *Table) OutLines() map[int]Location {
+	out := make(map[int]Location)
+	for i := range t.lines {
+		if t.lines[i].state == stateOut {
+			out[i] = t.lines[i].loc
+		}
+	}
+	return out
+}
+
+// LineBytes returns the accounted size of one line.
+func (t *Table) LineBytes(lineID int) int64 { return t.lines[lineID].bytes }
+
+// IsResident reports whether the line is currently in local memory.
+func (t *Table) IsResident(lineID int) bool {
+	return t.lines[lineID].state == stateResident
+}

@@ -1,0 +1,143 @@
+package oocmine
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/rmtp"
+)
+
+// FileStore spills hash lines to a local file — the disk-swap baseline in
+// live form. The file is append-only (a fetch or update of a line simply
+// abandons its old extent), which matches swap-extent behaviour well enough
+// for a spill that is dropped when mining finishes.
+type FileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	end   int64
+	slots map[int32]fileSlot
+
+	stores, fetches, updates uint64
+}
+
+type fileSlot struct {
+	off int64
+	len int32
+}
+
+// NewFileStore creates (truncates) the spill file at path.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{f: f, slots: make(map[int32]fileSlot)}, nil
+}
+
+// Close removes the spill file.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	name := fs.f.Name()
+	err := fs.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// Stats returns operation counters.
+func (fs *FileStore) Stats() (stores, fetches, updates uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stores, fs.fetches, fs.updates
+}
+
+// Store appends the encoded line and records its extent.
+func (fs *FileStore) Store(line int32, entries []rmtp.Entry) error {
+	buf := rmtp.EncodeEntries(entries)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.f.WriteAt(buf, fs.end); err != nil {
+		return fmt.Errorf("oocmine: spill write: %w", err)
+	}
+	fs.slots[line] = fileSlot{off: fs.end, len: int32(len(buf))}
+	fs.end += int64(len(buf))
+	fs.stores++
+	return nil
+}
+
+func (fs *FileStore) read(line int32) ([]rmtp.Entry, fileSlot, error) {
+	slot, ok := fs.slots[line]
+	if !ok {
+		return nil, slot, fmt.Errorf("oocmine: line %d not spilled", line)
+	}
+	buf := make([]byte, slot.len)
+	if _, err := fs.f.ReadAt(buf, slot.off); err != nil {
+		return nil, slot, fmt.Errorf("oocmine: spill read: %w", err)
+	}
+	entries, err := rmtp.DecodeEntries(buf)
+	return entries, slot, err
+}
+
+// Fetch reads a line back and releases its slot.
+func (fs *FileStore) Fetch(line int32) ([]rmtp.Entry, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	entries, _, err := fs.read(line)
+	if err != nil {
+		return nil, err
+	}
+	delete(fs.slots, line)
+	fs.fetches++
+	return entries, nil
+}
+
+// Update increments a key's count in place (read-modify-append).
+func (fs *FileStore) Update(line int32, key string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	entries, _, err := fs.read(line)
+	if err != nil {
+		return err
+	}
+	for i := range entries {
+		if entries[i].Key == key {
+			entries[i].Count++
+			break
+		}
+	}
+	buf := rmtp.EncodeEntries(entries)
+	if _, err := fs.f.WriteAt(buf, fs.end); err != nil {
+		return fmt.Errorf("oocmine: spill update write: %w", err)
+	}
+	fs.slots[line] = fileSlot{off: fs.end, len: int32(len(buf))}
+	fs.end += int64(len(buf))
+	fs.updates++
+	return nil
+}
+
+var _ Store = (*FileStore)(nil)
+
+// DialStores connects to several rmtp servers with the same owner name,
+// returning them as Stores plus a closer.
+func DialStores(owner string, addrs []string) ([]Store, func(), error) {
+	var stores []Store
+	var clients []*rmtp.Client
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	for _, addr := range addrs {
+		c, err := rmtp.Dial(addr, owner)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("oocmine: dialing %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+		stores = append(stores, c)
+	}
+	return stores, closeAll, nil
+}

@@ -1,0 +1,211 @@
+package oocmine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/itemset"
+	"repro/internal/quest"
+	"repro/internal/rmtp"
+)
+
+func workload(t *testing.T) ([]itemset.Itemset, *apriori.Result) {
+	t.Helper()
+	p := quest.Defaults()
+	p.Transactions = 1500
+	p.Items = 150
+	p.Patterns = 60
+	p.AvgTxnLen = 8
+	txns := quest.Generate(p)
+	want, err := apriori.Mine(txns, apriori.Config{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txns, want
+}
+
+func startServers(t *testing.T, n int) []Store {
+	t.Helper()
+	var stores []Store
+	for i := 0; i < n; i++ {
+		srv := rmtp.NewServer(0)
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		cl, err := rmtp.Dial(srv.Addr(), "oocmine-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		stores = append(stores, cl)
+	}
+	return stores
+}
+
+func TestUnlimitedMatchesApriori(t *testing.T) {
+	txns, want := workload(t)
+	got, stats, err := Mine(txns, Config{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := apriori.SameLarge(got, want); !ok {
+		t.Fatalf("unlimited oocmine differs: %s", why)
+	}
+	if stats.Evictions != 0 || stats.Faults != 0 {
+		t.Errorf("unlimited run swapped: %+v", stats)
+	}
+}
+
+func TestSpillOverTCPSimpleSwap(t *testing.T) {
+	txns, want := workload(t)
+	stores := startServers(t, 2)
+	got, stats, err := Mine(txns, Config{
+		MinSupport: 0.02,
+		LimitBytes: 2 << 10, // tiny: heavy spilling
+		Policy:     SimpleSwap,
+		Lines:      256,
+		Stores:     stores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := apriori.SameLarge(got, want); !ok {
+		t.Fatalf("TCP simple-swap differs: %s", why)
+	}
+	if stats.Evictions == 0 || stats.Faults == 0 {
+		t.Errorf("no swapping exercised: %+v", stats)
+	}
+	if stats.PeakResident > 3<<10 {
+		t.Errorf("peak resident %d far above budget", stats.PeakResident)
+	}
+}
+
+func TestSpillOverTCPRemoteUpdate(t *testing.T) {
+	txns, want := workload(t)
+	stores := startServers(t, 3)
+	got, stats, err := Mine(txns, Config{
+		MinSupport: 0.02,
+		LimitBytes: 2 << 10,
+		Policy:     RemoteUpdate,
+		Lines:      256,
+		Stores:     stores,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := apriori.SameLarge(got, want); !ok {
+		t.Fatalf("TCP remote-update differs: %s", why)
+	}
+	if stats.RemoteUpdates == 0 {
+		t.Errorf("no remote updates sent: %+v", stats)
+	}
+}
+
+func TestSpillToFile(t *testing.T) {
+	txns, want := workload(t)
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "spill.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	got, stats, err := Mine(txns, Config{
+		MinSupport: 0.02,
+		LimitBytes: 2 << 10,
+		Policy:     SimpleSwap,
+		Lines:      256,
+		Stores:     []Store{fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := apriori.SameLarge(got, want); !ok {
+		t.Fatalf("file spill differs: %s", why)
+	}
+	s, f, _ := fs.Stats()
+	if s == 0 || f == 0 {
+		t.Errorf("file store unused: stores=%d fetches=%d", s, f)
+	}
+	_ = stats
+}
+
+func TestFileStoreRemoteUpdate(t *testing.T) {
+	txns, want := workload(t)
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "spill.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	got, _, err := Mine(txns, Config{
+		MinSupport: 0.02,
+		LimitBytes: 2 << 10,
+		Policy:     RemoteUpdate,
+		Lines:      256,
+		Stores:     []Store{fs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := apriori.SameLarge(got, want); !ok {
+		t.Fatalf("file remote-update differs: %s", why)
+	}
+}
+
+func TestStoresRotate(t *testing.T) {
+	txns, _ := workload(t)
+	srvA := rmtp.NewServer(0)
+	srvB := rmtp.NewServer(0)
+	for _, s := range []*rmtp.Server{srvA, srvB} {
+		if err := s.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+	}
+	stores, closeAll, err := DialStores("rot", []string{srvA.Addr(), srvB.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll()
+	if _, _, err := Mine(txns, Config{
+		MinSupport: 0.02,
+		LimitBytes: 2 << 10,
+		Policy:     SimpleSwap,
+		Lines:      256,
+		Stores:     stores,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	aStores, _, _, _ := srvA.Stats()
+	bStores, _, _, _ := srvB.Stats()
+	if aStores == 0 || bStores == 0 {
+		t.Errorf("spill not rotated: A=%d B=%d", aStores, bStores)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	txns, _ := workload(t)
+	if _, _, err := Mine(txns, Config{MinSupport: 0}); err == nil {
+		t.Error("zero support accepted")
+	}
+	if _, _, err := Mine(nil, Config{MinSupport: 0.1}); err == nil {
+		t.Error("no transactions accepted")
+	}
+	if _, _, err := Mine(txns, Config{MinSupport: 0.1, LimitBytes: 100}); err == nil {
+		t.Error("limit without stores accepted")
+	}
+	if _, _, err := Mine(txns, Config{MinSupport: 0.1, LimitBytes: -1}); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+func TestDialStoresFailureCleansUp(t *testing.T) {
+	srv := rmtp.NewServer(0)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, _, err := DialStores("x", []string{srv.Addr(), "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable store accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package quest
+
+import "testing"
+
+// BenchmarkGenerate measures workload synthesis throughput.
+func BenchmarkGenerate(b *testing.B) {
+	p := Defaults()
+	p.Transactions = 10_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(p)
+	}
+}
+
+// BenchmarkNext measures per-transaction streaming cost.
+func BenchmarkNext(b *testing.B) {
+	p := Defaults()
+	p.Transactions = 1 << 30
+	g := NewGenerator(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}

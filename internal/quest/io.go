@@ -1,0 +1,172 @@
+package quest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/itemset"
+)
+
+// Text format: one transaction per line, space-separated item ids.
+// Binary format: magic "QST1", then for each transaction a uvarint length
+// followed by uvarint item ids (delta-encoded from the previous item, which
+// is compact because transactions are canonical).
+
+const binaryMagic = "QST1"
+
+// WriteText writes transactions in the line-oriented text format.
+func WriteText(w io.Writer, txns []itemset.Itemset) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range txns {
+		for i, it := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(it))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format.
+func ReadText(r io.Reader) ([]itemset.Itemset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []itemset.Itemset
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		items := make([]itemset.Item, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("quest: line %d: bad item %q: %w", line, f, err)
+			}
+			items = append(items, itemset.Item(v))
+		}
+		out = append(out, itemset.New(items...))
+	}
+	return out, sc.Err()
+}
+
+// WriteBinary writes transactions in the compact binary format.
+func WriteBinary(w io.Writer, txns []itemset.Itemset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := put(uint64(len(txns))); err != nil {
+		return err
+	}
+	for _, t := range txns {
+		if err := put(uint64(len(t))); err != nil {
+			return err
+		}
+		prev := itemset.Item(0)
+		for _, it := range t {
+			if err := put(uint64(it - prev)); err != nil {
+				return err
+			}
+			prev = it
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) ([]itemset.Itemset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("quest: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("quest: bad magic %q", magic)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("quest: reading count: %w", err)
+	}
+	const maxTxns = 1 << 31
+	if n > maxTxns {
+		return nil, fmt.Errorf("quest: implausible transaction count %d", n)
+	}
+	out := make([]itemset.Itemset, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("quest: txn %d length: %w", i, err)
+		}
+		if l > 1<<20 {
+			return nil, fmt.Errorf("quest: txn %d implausible length %d", i, l)
+		}
+		t := make(itemset.Itemset, l)
+		prev := itemset.Item(0)
+		for j := range t {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("quest: txn %d item %d: %w", i, j, err)
+			}
+			prev += itemset.Item(d)
+			t[j] = prev
+		}
+		if !t.IsCanonical() {
+			return nil, fmt.Errorf("quest: txn %d not canonical", i)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// WriteFile writes txns to path, choosing the binary format for a ".bin"
+// suffix and text otherwise.
+func WriteFile(path string, txns []itemset.Itemset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		if err := WriteBinary(f, txns); err != nil {
+			return err
+		}
+	} else if err := WriteText(f, txns); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads txns from path, format chosen as in WriteFile.
+func ReadFile(path string) ([]itemset.Itemset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}

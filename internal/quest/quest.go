@@ -1,0 +1,277 @@
+// Package quest reimplements the IBM Quest synthetic basket-data generator
+// of Agrawal & Srikant ("Fast Algorithms for Mining Association Rules",
+// VLDB 1994), the program the paper used to produce its transaction files
+// ("Transaction data was produced using a data generation program developed
+// by Agrawal").
+//
+// The generator first draws a pool of maximal potentially large itemsets
+// (patterns); transactions are then assembled from weighted patterns, items
+// being dropped according to per-pattern corruption levels. Workloads are
+// conventionally named TxIyDz: average transaction size x, average pattern
+// size y, z transactions.
+package quest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/itemset"
+)
+
+// Params configures a synthetic workload.
+type Params struct {
+	Transactions int // D: number of transactions
+	Items        int // N: number of distinct items
+	Patterns     int // |L|: size of the potentially-large itemset pool
+
+	AvgTxnLen     float64 // T: mean transaction size (Poisson)
+	AvgPatternLen float64 // I: mean pattern size (Poisson, min 1)
+
+	Correlation    float64 // fraction of a pattern drawn from its predecessor (classic 0.5)
+	CorruptionMean float64 // mean per-pattern corruption level (classic 0.5)
+	CorruptionDev  float64 // std-dev of corruption level (classic 0.1)
+
+	Seed int64
+}
+
+// PaperParams returns the evaluation workload of §5.1: 1,000,000
+// transactions over 5,000 items, ≈80 MB of data (hence ≈20 items per
+// transaction), scaled by the given factor on the transaction count only —
+// which preserves per-item frequencies and hence the candidate population.
+func PaperParams(scale float64) Params {
+	p := Defaults()
+	p.Transactions = int(1_000_000 * scale)
+	p.Items = 5000
+	p.AvgTxnLen = 20
+	return p
+}
+
+// Defaults returns the classic T10.I4 parameterization with 100k
+// transactions over 1,000 items.
+func Defaults() Params {
+	return Params{
+		Transactions:   100_000,
+		Items:          1000,
+		Patterns:       2000,
+		AvgTxnLen:      10,
+		AvgPatternLen:  4,
+		Correlation:    0.5,
+		CorruptionMean: 0.5,
+		CorruptionDev:  0.1,
+		Seed:           1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	switch {
+	case p.Transactions < 0:
+		return errors.New("quest: negative transaction count")
+	case p.Items < 1:
+		return errors.New("quest: need at least one item")
+	case p.Patterns < 1:
+		return errors.New("quest: need at least one pattern")
+	case p.AvgTxnLen <= 0:
+		return errors.New("quest: average transaction length must be positive")
+	case p.AvgPatternLen <= 0:
+		return errors.New("quest: average pattern length must be positive")
+	case p.Correlation < 0 || p.Correlation > 1:
+		return errors.New("quest: correlation must be in [0,1]")
+	case p.CorruptionMean < 0 || p.CorruptionMean >= 1:
+		return errors.New("quest: corruption mean must be in [0,1)")
+	case p.CorruptionDev < 0:
+		return errors.New("quest: corruption deviation must be nonnegative")
+	}
+	return nil
+}
+
+// Name renders the conventional TxIyDz workload label.
+func (p Params) Name() string {
+	return fmt.Sprintf("T%.0f.I%.0f.D%d.N%d", p.AvgTxnLen, p.AvgPatternLen, p.Transactions, p.Items)
+}
+
+type pattern struct {
+	items      itemset.Itemset
+	weight     float64 // cumulative for binary search
+	corruption float64
+}
+
+// Generator streams transactions of a workload. It is deterministic for a
+// given Params (including Seed) and not safe for concurrent use.
+type Generator struct {
+	p        Params
+	rng      *rand.Rand
+	patterns []pattern
+	emitted  int
+	carry    []itemset.Item // pattern deferred to the next transaction
+}
+
+// NewGenerator builds the pattern pool and returns a ready generator.
+// It panics if p is invalid; call Validate first for error handling.
+func NewGenerator(p Params) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	g.buildPatterns()
+	return g
+}
+
+func (g *Generator) buildPatterns() {
+	p := g.p
+	g.patterns = make([]pattern, p.Patterns)
+	var prev itemset.Itemset
+	total := 0.0
+	for i := range g.patterns {
+		size := g.poisson(p.AvgPatternLen - 1)
+		if size < 1 {
+			size = 1
+		}
+		if size > p.Items {
+			size = p.Items
+		}
+		items := make(map[itemset.Item]struct{}, size)
+		// Correlated fraction from the previous pattern.
+		if len(prev) > 0 {
+			frac := math.Min(1, g.rng.ExpFloat64()*p.Correlation)
+			take := int(frac * float64(size))
+			for _, idx := range g.rng.Perm(len(prev)) {
+				if len(items) >= take {
+					break
+				}
+				items[prev[idx]] = struct{}{}
+			}
+		}
+		for len(items) < size {
+			items[itemset.Item(g.rng.Intn(p.Items))] = struct{}{}
+		}
+		flat := make([]itemset.Item, 0, len(items))
+		for it := range items {
+			flat = append(flat, it)
+		}
+		is := itemset.New(flat...)
+		w := g.rng.ExpFloat64()
+		total += w
+		corr := g.rng.NormFloat64()*p.CorruptionDev + p.CorruptionMean
+		corr = math.Max(0, math.Min(0.98, corr))
+		g.patterns[i] = pattern{items: is, weight: total, corruption: corr}
+		prev = is
+	}
+	// Normalize cumulative weights to [0,1).
+	for i := range g.patterns {
+		g.patterns[i].weight /= total
+	}
+}
+
+// pickPattern samples a pattern index by weight.
+func (g *Generator) pickPattern() *pattern {
+	x := g.rng.Float64()
+	lo, hi := 0, len(g.patterns)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.patterns[mid].weight < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &g.patterns[lo]
+}
+
+// poisson samples Poisson(mean) via Knuth's method (fine for small means).
+func (g *Generator) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Next returns the next transaction, or ok=false when the workload is
+// exhausted. Transactions are canonical itemsets and never empty.
+func (g *Generator) Next() (itemset.Itemset, bool) {
+	if g.emitted >= g.p.Transactions {
+		return nil, false
+	}
+	g.emitted++
+
+	size := g.poisson(g.p.AvgTxnLen)
+	if size < 1 {
+		size = 1
+	}
+	if size > g.p.Items {
+		size = g.p.Items
+	}
+	txn := make([]itemset.Item, 0, size+4)
+	if len(g.carry) > 0 {
+		txn = append(txn, g.carry...)
+		g.carry = nil
+	}
+	for guard := 0; len(txn) < size && guard < 8*size+32; guard++ {
+		pat := g.pickPattern()
+		// Corrupt: drop items while a uniform draw exceeds the level.
+		kept := make([]itemset.Item, 0, len(pat.items))
+		for _, it := range pat.items {
+			if g.rng.Float64() >= pat.corruption {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		if len(txn)+len(kept) > size && len(txn) > 0 {
+			// Doesn't fit: half the time force it in anyway (overflowing),
+			// half the time defer it to the next transaction, per Quest.
+			if g.rng.Intn(2) == 0 {
+				g.carry = kept
+				break
+			}
+		}
+		txn = append(txn, kept...)
+	}
+	if len(txn) == 0 {
+		txn = append(txn, itemset.Item(g.rng.Intn(g.p.Items)))
+	}
+	return itemset.New(txn...), true
+}
+
+// Remaining returns how many transactions are still to be emitted.
+func (g *Generator) Remaining() int { return g.p.Transactions - g.emitted }
+
+// Generate materializes the whole workload. Convenient for tests and small
+// runs; use the streaming Generator for large D.
+func Generate(p Params) []itemset.Itemset {
+	g := NewGenerator(p)
+	out := make([]itemset.Itemset, 0, p.Transactions)
+	for {
+		t, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Partition deals transactions round-robin into n partitions, as the paper
+// does when copying the generated file across node disks ("The produced data
+// was divided by the number of nodes and copied to each node's hard disk").
+func Partition(txns []itemset.Itemset, n int) [][]itemset.Itemset {
+	if n < 1 {
+		panic("quest: partition count must be >= 1")
+	}
+	parts := make([][]itemset.Itemset, n)
+	for i, t := range txns {
+		parts[i%n] = append(parts[i%n], t)
+	}
+	return parts
+}

@@ -1,0 +1,302 @@
+package quest
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+)
+
+func smallParams() Params {
+	p := Defaults()
+	p.Transactions = 2000
+	p.Items = 200
+	p.Patterns = 100
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	good := Defaults()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Transactions = -1 },
+		func(p *Params) { p.Items = 0 },
+		func(p *Params) { p.Patterns = 0 },
+		func(p *Params) { p.AvgTxnLen = 0 },
+		func(p *Params) { p.AvgPatternLen = -2 },
+		func(p *Params) { p.Correlation = 1.5 },
+		func(p *Params) { p.CorruptionMean = 1 },
+		func(p *Params) { p.CorruptionDev = -0.1 },
+	}
+	for i, mut := range bad {
+		p := Defaults()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateCountAndCanonical(t *testing.T) {
+	p := smallParams()
+	txns := Generate(p)
+	if len(txns) != p.Transactions {
+		t.Fatalf("generated %d transactions, want %d", len(txns), p.Transactions)
+	}
+	for i, txn := range txns {
+		if len(txn) == 0 {
+			t.Fatalf("transaction %d empty", i)
+		}
+		if !txn.IsCanonical() {
+			t.Fatalf("transaction %d not canonical: %v", i, txn)
+		}
+		for _, it := range txn {
+			if it < 0 || int(it) >= p.Items {
+				t.Fatalf("transaction %d has out-of-range item %d", i, it)
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := smallParams()
+	a := Generate(p)
+	b := Generate(p)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different counts")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("transaction %d differs across identical runs", i)
+		}
+	}
+	p.Seed = 2
+	c := Generate(p)
+	same := true
+	for i := range a {
+		if i < len(c) && !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestAverageTransactionLength(t *testing.T) {
+	p := smallParams()
+	p.Transactions = 5000
+	p.AvgTxnLen = 10
+	txns := Generate(p)
+	total := 0
+	for _, txn := range txns {
+		total += len(txn)
+	}
+	avg := float64(total) / float64(len(txns))
+	// Corruption + dedup shifts the mean; just demand the right regime.
+	if avg < 4 || avg > 16 {
+		t.Errorf("average transaction length %.2f, want within [4,16] of T=10", avg)
+	}
+}
+
+func TestFrequencySkewExists(t *testing.T) {
+	// Weighted patterns should make some items much more frequent than
+	// uniform; association mining is pointless on uniform data.
+	p := smallParams()
+	p.Transactions = 4000
+	txns := Generate(p)
+	freq := make([]int, p.Items)
+	total := 0
+	for _, txn := range txns {
+		for _, it := range txn {
+			freq[it]++
+			total++
+		}
+	}
+	max := 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+	}
+	mean := float64(total) / float64(p.Items)
+	if float64(max) < 3*mean {
+		t.Errorf("max item frequency %d vs mean %.1f: no skew", max, mean)
+	}
+}
+
+func TestStreamingMatchesGenerate(t *testing.T) {
+	p := smallParams()
+	p.Transactions = 500
+	all := Generate(p)
+	g := NewGenerator(p)
+	for i := 0; ; i++ {
+		txn, ok := g.Next()
+		if !ok {
+			if i != len(all) {
+				t.Fatalf("stream ended at %d, want %d", i, len(all))
+			}
+			break
+		}
+		if !txn.Equal(all[i]) {
+			t.Fatalf("stream txn %d differs from Generate", i)
+		}
+	}
+	if g.Remaining() != 0 {
+		t.Errorf("Remaining = %d after exhaustion", g.Remaining())
+	}
+}
+
+func TestPartitionRoundRobin(t *testing.T) {
+	p := smallParams()
+	p.Transactions = 103
+	txns := Generate(p)
+	parts := Partition(txns, 4)
+	total := 0
+	for i, part := range parts {
+		total += len(part)
+		want := len(txns) / 4
+		if i < len(txns)%4 {
+			want++
+		}
+		if len(part) != want {
+			t.Errorf("partition %d has %d txns, want %d", i, len(part), want)
+		}
+	}
+	if total != len(txns) {
+		t.Errorf("partitions hold %d txns, want %d", total, len(txns))
+	}
+	if !parts[1][0].Equal(txns[1]) {
+		t.Error("round-robin order broken")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	p := smallParams()
+	p.Transactions = 200
+	txns := Generate(p)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, txns); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(txns) {
+		t.Fatalf("round trip count %d, want %d", len(got), len(txns))
+	}
+	for i := range got {
+		if !got[i].Equal(txns[i]) {
+			t.Fatalf("round trip txn %d mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	prop := func(raw [][]int32) bool {
+		txns := make([]itemset.Itemset, 0, len(raw))
+		for _, r := range raw {
+			items := make([]itemset.Item, len(r))
+			for i, v := range r {
+				if v < 0 {
+					v = -v
+				}
+				items[i] = v
+			}
+			is := itemset.New(items...)
+			if len(is) == 0 {
+				continue
+			}
+			txns = append(txns, is)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, txns); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got) != len(txns) {
+			return false
+		}
+		for i := range got {
+			if !got[i].Equal(txns[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE????"))); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("QS"))); err == nil {
+		t.Error("truncated magic accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := smallParams()
+	p.Transactions = 50
+	txns := Generate(p)
+	for _, name := range []string{"w.txt", "w.bin"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, txns); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(got) != len(txns) {
+			t.Fatalf("%s: count %d, want %d", name, len(got), len(txns))
+		}
+		for i := range got {
+			if !got[i].Equal(txns[i]) {
+				t.Fatalf("%s: txn %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := NewGenerator(smallParams())
+	const mean = 7.0
+	n := 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += g.poisson(mean)
+	}
+	got := float64(sum) / float64(n)
+	if math.Abs(got-mean) > 0.2 {
+		t.Errorf("poisson sample mean %.3f, want ≈%.1f", got, mean)
+	}
+}
+
+func TestName(t *testing.T) {
+	p := Defaults()
+	if got := p.Name(); got != "T10.I4.D100000.N1000" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestPaperParams(t *testing.T) {
+	p := PaperParams(0.1)
+	if p.Transactions != 100_000 || p.Items != 5000 {
+		t.Errorf("PaperParams(0.1) = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}

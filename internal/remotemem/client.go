@@ -1,0 +1,291 @@
+package remotemem
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/memtable"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// destState tracks the client's view of one memory-available node.
+type destState int
+
+const (
+	destNormal destState = iota
+	destMigrating
+	destDrained
+)
+
+// Client is the application-node side of the remote-memory mechanism. It
+// implements memtable.Pager over the network (swap-out, pagefault fetch,
+// one-way update) and runs the monitor-client process that maintains the
+// availability table and directs migration when a memory-available node
+// withdraws its memory.
+type Client struct {
+	node   int
+	nw     *simnet.Network
+	layout cluster.Layout
+	avail  *AvailTable
+	table  *memtable.Table // attached after table construction
+
+	placed     map[int]int   // line -> store node (latest known)
+	lineBytes  map[int]int64 // line -> resident-accounting bytes stored
+	bytesAt    map[int]int64 // store node -> our bytes there
+	destStates map[int]destState
+
+	// UnavailableThreshold: a report at or below this many free bytes marks
+	// the node unavailable and triggers migration of our lines away from it.
+	UnavailableThreshold int64
+
+	// ReportCPU is compute charged per processed availability report — the
+	// "monitoring and communication overhead" on application nodes that
+	// makes very short intervals degrade performance (§5.4). It contends on
+	// the node CPU when the monitor-client process is bound to one.
+	ReportCPU sim.Duration
+
+	stopped    bool
+	rrCursor   int    // rotates swap destinations among eligible stores
+	migrations uint64 // migration rounds initiated
+	relocated  uint64 // lines whose location changed via MigrateDone
+}
+
+// NewClient creates a client for application node `node`.
+func NewClient(nw *simnet.Network, layout cluster.Layout, node int) *Client {
+	return &Client{
+		node:                 node,
+		nw:                   nw,
+		layout:               layout,
+		avail:                NewAvailTable(),
+		placed:               make(map[int]int),
+		lineBytes:            make(map[int]int64),
+		bytesAt:              make(map[int]int64),
+		destStates:           make(map[int]destState),
+		UnavailableThreshold: 64 << 10,
+		ReportCPU:            50 * sim.Microsecond,
+	}
+}
+
+// Avail exposes the availability table (shared with the monitor client).
+func (c *Client) Avail() *AvailTable { return c.avail }
+
+// AttachTable wires the client to the table whose lines it pages; required
+// before migration can relocate lines.
+func (c *Client) AttachTable(t *memtable.Table) { c.table = t }
+
+// Seed installs an initial availability estimate for a store node, standing
+// in for the reports the long-running monitors had already broadcast before
+// the mining program started.
+func (c *Client) Seed(node int, freeBytes int64) {
+	c.avail.Report(0, node, freeBytes)
+}
+
+// Migrations returns how many migration rounds this client directed.
+func (c *Client) Migrations() uint64 { return c.migrations }
+
+// RelocatedLines returns how many line relocations completed.
+func (c *Client) RelocatedLines() uint64 { return c.relocated }
+
+// --- memtable.Pager implementation ---
+
+// StoreOut ships a line to an available memory node. Destinations rotate
+// round-robin among nodes with enough reported availability: every client
+// sees only its own charges between reports, so always chasing the maximum
+// would make all application nodes dogpile the same store between two
+// monitor rounds.
+func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
+	need := int64(len(entries)) * memtable.EntryMemBytes
+	known := c.avail.Known()
+	dest, ok := -1, false
+	for range known {
+		cand := known[c.rrCursor%len(known)]
+		c.rrCursor++
+		if c.destStates[cand] == destNormal && c.avail.Effective(cand) >= need {
+			dest, ok = cand, true
+			break
+		}
+	}
+	if !ok {
+		// Fall back to the single best candidate (covers the case where
+		// rotation skipped a node that still fits).
+		excluded := map[int]bool{}
+		for n, st := range c.destStates {
+			if st != destNormal {
+				excluded[n] = true
+			}
+		}
+		dest, ok = c.avail.PickExcluding(need, excluded)
+	}
+	if !ok {
+		return memtable.Location{}, fmt.Errorf(
+			"remotemem: node %d: no memory-available node can hold %d bytes", c.node, need)
+	}
+	c.nw.Send(p, c.node, dest, cluster.PortMem,
+		StoreMsg{Owner: c.node, Line: line, Entries: entries},
+		lineWireBytes(c.nw.Config().BlockSize, len(entries)))
+	c.avail.Charge(dest, need)
+	c.placed[line] = dest
+	c.lineBytes[line] = need
+	c.bytesAt[dest] += need
+	return memtable.Location{Node: dest}, nil
+}
+
+// FetchIn retrieves a line, blocking the calling process for the round trip
+// (the pagefault of §4.3). Requests may be transparently forwarded by a
+// store that migrated the line away; the reply still arrives here.
+func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
+	c.nw.Send(p, c.node, loc.Node, cluster.PortMem,
+		FetchReq{Owner: c.node, Line: line}, reqWireBytes)
+	inbox := c.nw.Inbox(c.node, cluster.PortMemReply)
+	for {
+		m := inbox.Recv(p)
+		reply, ok := m.Payload.(FetchReply)
+		if !ok {
+			panic(fmt.Sprintf("remotemem: node %d: unexpected reply %T", c.node, m.Payload))
+		}
+		if reply.Line != line {
+			// Stale reply from an abandoned fetch; with one fault in flight
+			// per node this does not happen, but drop defensively.
+			continue
+		}
+		if reply.Err != "" {
+			return nil, fmt.Errorf("remotemem: fetch of line %d: %s", line, reply.Err)
+		}
+		holder := c.placed[line]
+		c.bytesAt[holder] -= c.lineBytes[line]
+		delete(c.placed, line)
+		delete(c.lineBytes, line)
+		return reply.Entries, nil
+	}
+}
+
+// Update sends a one-way count increment for a pinned line (§4.4).
+func (c *Client) Update(p *sim.Proc, line int, loc memtable.Location, key string) error {
+	c.nw.Send(p, c.node, loc.Node, cluster.PortMem,
+		UpdateMsg{Owner: c.node, Line: line, Key: key}, updateWireBytes)
+	return nil
+}
+
+var _ memtable.Pager = (*Client)(nil)
+
+// --- monitor client process ---
+
+// Stop makes RunMonitor exit after its next message.
+func (c *Client) Stop() { c.stopped = true }
+
+// RunMonitor is the client process "running and waiting for the information
+// sent from the memory monitoring processes" (§4.2). It updates the shared
+// availability table and, when a memory-available node reports shortage,
+// sends migration directions for this node's lines held there.
+func (c *Client) RunMonitor(p *sim.Proc) {
+	inbox := c.nw.Inbox(c.node, cluster.PortMon)
+	for !c.stopped {
+		m := inbox.Recv(p)
+		switch msg := m.Payload.(type) {
+		case MemReport:
+			p.Work(c.ReportCPU)
+			c.avail.Report(p.Now(), msg.Node, msg.FreeBytes)
+			c.handleReport(p, msg)
+		case MigrateDone:
+			c.handleMigrateDone(msg)
+		default:
+			panic(fmt.Sprintf("remotemem: node %d monitor: unexpected %T", c.node, m.Payload))
+		}
+	}
+}
+
+func (c *Client) handleReport(p *sim.Proc, msg MemReport) {
+	st := c.destStates[msg.Node]
+	if msg.FreeBytes > c.UnavailableThreshold {
+		if st == destDrained {
+			c.destStates[msg.Node] = destNormal // node recovered
+		}
+		return
+	}
+	// Shortage detected.
+	if st != destNormal {
+		return // already migrating or drained
+	}
+	lines := c.linesAt(msg.Node)
+	if len(lines) == 0 {
+		c.destStates[msg.Node] = destDrained
+		return
+	}
+	excluded := map[int]bool{msg.Node: true}
+	for n, s := range c.destStates {
+		if s != destNormal {
+			excluded[n] = true
+		}
+	}
+	// Spread the displaced lines across every viable destination ("migrates
+	// its contents to other memory available nodes") rather than piling them
+	// onto one node, which would create a new hotspot for updates, fetches,
+	// and the final collection.
+	var dests []int
+	for _, n := range c.avail.Known() {
+		if !excluded[n] && c.avail.Effective(n) > 0 {
+			dests = append(dests, n)
+		}
+	}
+	if len(dests) == 0 {
+		// Nowhere to migrate; leave lines in place and retry on the next
+		// report (the store still holds and serves them).
+		return
+	}
+	c.destStates[msg.Node] = destMigrating
+	c.migrations++
+	perDest := make(map[int][]int, len(dests))
+	for i, line := range lines {
+		d := dests[i%len(dests)]
+		perDest[d] = append(perDest[d], line)
+		c.avail.Charge(d, c.lineBytes[line])
+	}
+	// Chunk each direction so the store can interleave fault service between
+	// batches instead of stalling concurrent fetches behind one long sweep.
+	const chunk = 64
+	for _, d := range dests {
+		batch := perDest[d]
+		for len(batch) > 0 {
+			n := len(batch)
+			if n > chunk {
+				n = chunk
+			}
+			c.nw.Send(p, c.node, msg.Node, cluster.PortMem,
+				MigrateCmd{Owner: c.node, Lines: batch[:n], Dest: d},
+				migrateCmdWireBytes(n))
+			batch = batch[n:]
+		}
+	}
+}
+
+func (c *Client) handleMigrateDone(msg MigrateDone) {
+	for _, line := range msg.Lines {
+		if c.placed[line] != msg.From {
+			continue // fetched or re-stored elsewhere in the meantime
+		}
+		c.placed[line] = msg.Dest
+		c.bytesAt[msg.From] -= c.lineBytes[line]
+		c.bytesAt[msg.Dest] += c.lineBytes[line]
+		if c.table != nil && !c.table.IsResident(line) {
+			if err := c.table.Relocate(line, memtable.Location{Node: msg.Dest}); err == nil {
+				c.relocated++
+			}
+		}
+	}
+	c.destStates[msg.From] = destDrained
+}
+
+// linesAt returns this client's lines held by the given store node.
+func (c *Client) linesAt(node int) []int {
+	var out []int
+	for line, n := range c.placed {
+		if n == node {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// BytesAt returns the client's accounting of its bytes at one store.
+func (c *Client) BytesAt(node int) int64 { return c.bytesAt[node] }

@@ -1,0 +1,200 @@
+package remotemem
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/memtable"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+type lineKey struct {
+	owner int
+	line  int
+}
+
+// Store is the memory-available node server: it keeps swapped-out hash
+// lines from any number of application nodes in its spare memory and
+// services fetches, updates, and migration directions serially (one process
+// per node, as in the paper).
+type Store struct {
+	node  int
+	nw    *simnet.Network
+	costs Costs
+
+	capacity int64 // bytes of spare memory for swapped lines
+	used     int64
+	external int64 // memory claimed by "other processes" (migration experiment)
+
+	lines   map[lineKey][]memtable.Entry
+	forward map[lineKey]int // after migration: where a line went
+
+	// Stats.
+	stores, fetches, updates, migratedOut, forwarded uint64
+}
+
+// NewStore creates a store server on the given node with the given spare
+// capacity; call Run from a simulation process to serve.
+func NewStore(nw *simnet.Network, node int, capacity int64, costs Costs) *Store {
+	return &Store{
+		node:     node,
+		nw:       nw,
+		costs:    costs,
+		capacity: capacity,
+		lines:    make(map[lineKey][]memtable.Entry),
+		forward:  make(map[lineKey]int),
+	}
+}
+
+// Node returns the store's node id.
+func (s *Store) Node() int { return s.node }
+
+// UsedBytes returns bytes of stored lines.
+func (s *Store) UsedBytes() int64 { return s.used }
+
+// FreeBytes returns the spare memory the monitor would report now.
+func (s *Store) FreeBytes() int64 {
+	free := s.capacity - s.used - s.external
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// SetExternalLoad models other processes starting on this node and claiming
+// bytes of its memory (the migration experiment's signal makes the node
+// "pretend to have no available memory anymore").
+func (s *Store) SetExternalLoad(bytes int64) { s.external = bytes }
+
+// Stats returns operation counters.
+func (s *Store) Stats() (stores, fetches, updates, migrated, forwarded uint64) {
+	return s.stores, s.fetches, s.updates, s.migratedOut, s.forwarded
+}
+
+// HeldLines returns how many lines the store currently holds.
+func (s *Store) HeldLines() int { return len(s.lines) }
+
+// Run serves requests forever (the simulation ends when traffic stops).
+func (s *Store) Run(p *sim.Proc) {
+	inbox := s.nw.Inbox(s.node, cluster.PortMem)
+	for {
+		m := inbox.Recv(p)
+		s.handle(p, m)
+	}
+}
+
+func (s *Store) handle(p *sim.Proc, m simnet.Message) {
+	switch req := m.Payload.(type) {
+	case StoreMsg:
+		p.Work(s.costs.StoreService)
+		key := lineKey{req.Owner, req.Line}
+		cp := make([]memtable.Entry, len(req.Entries))
+		copy(cp, req.Entries)
+		s.lines[key] = cp
+		s.used += int64(len(cp)) * memtable.EntryMemBytes
+		delete(s.forward, key) // a fresh store supersedes any stale forward
+		s.stores++
+
+	case FetchReq:
+		p.Work(s.costs.FetchService)
+		key := lineKey{req.Owner, req.Line}
+		entries, ok := s.lines[key]
+		if !ok {
+			if dest, fwd := s.forward[key]; fwd {
+				// Line migrated away; forward the request so the owner gets
+				// its reply from the new holder.
+				s.forwarded++
+				s.nw.Send(p, s.node, dest, cluster.PortMem, req, reqWireBytes)
+				return
+			}
+			s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
+				FetchReply{Line: req.Line, Err: fmt.Sprintf("line %d not held by node %d", req.Line, s.node)},
+				reqWireBytes)
+			return
+		}
+		delete(s.lines, key)
+		s.used -= int64(len(entries)) * memtable.EntryMemBytes
+		s.fetches++
+		s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
+			FetchReply{Line: req.Line, Entries: entries},
+			lineWireBytes(s.nw.Config().BlockSize, len(entries)))
+
+	case UpdateMsg:
+		p.Work(s.costs.UpdateService)
+		key := lineKey{req.Owner, req.Line}
+		entries, ok := s.lines[key]
+		if !ok {
+			if dest, fwd := s.forward[key]; fwd {
+				s.forwarded++
+				s.nw.Send(p, s.node, dest, cluster.PortMem, req, updateWireBytes)
+			}
+			// A truly unknown line's update is dropped; the owner's state
+			// machine makes this unreachable in normal operation.
+			return
+		}
+		s.updates++
+		for i := range entries {
+			if entries[i].Key == req.Key {
+				entries[i].Count++
+				break
+			}
+		}
+
+	case MigrateCmd:
+		// Transfer the listed lines to the destination store packed into
+		// message blocks, then notify the owner. Lines fetched concurrently
+		// (race) are skipped.
+		blockSize := s.nw.Config().BlockSize
+		var moved []int
+		batch := MigrateBatch{Owner: req.Owner}
+		batchBytes := memtable.LineWireHeader
+		flush := func() {
+			if len(batch.Lines) == 0 {
+				return
+			}
+			s.nw.Send(p, s.node, req.Dest, cluster.PortMem, batch, batchBytes)
+			batch = MigrateBatch{Owner: req.Owner}
+			batchBytes = memtable.LineWireHeader
+		}
+		for _, line := range req.Lines {
+			key := lineKey{req.Owner, line}
+			entries, ok := s.lines[key]
+			if !ok {
+				continue
+			}
+			p.Work(s.costs.MigrateService)
+			wire := memtable.LineWireHeader + len(entries)*memtable.EntryWireBytes
+			if batchBytes+wire > blockSize && len(batch.Lines) > 0 {
+				flush()
+			}
+			batch.Lines = append(batch.Lines, line)
+			batch.Entries = append(batch.Entries, entries)
+			batchBytes += wire
+			s.used -= int64(len(entries)) * memtable.EntryMemBytes
+			delete(s.lines, key)
+			s.forward[key] = req.Dest
+			s.migratedOut++
+			moved = append(moved, line)
+		}
+		flush()
+		s.nw.Send(p, s.node, req.Owner, cluster.PortMon,
+			MigrateDone{From: s.node, Dest: req.Dest, Lines: moved}, doneWireBytes)
+
+	case MigrateBatch:
+		// Bulk arrival of migrated lines from a withdrawing store.
+		for i, line := range req.Lines {
+			p.Work(s.costs.StoreService)
+			key := lineKey{req.Owner, line}
+			cp := make([]memtable.Entry, len(req.Entries[i]))
+			copy(cp, req.Entries[i])
+			s.lines[key] = cp
+			s.used += int64(len(cp)) * memtable.EntryMemBytes
+			delete(s.forward, key)
+			s.stores++
+		}
+
+	default:
+		panic(fmt.Sprintf("remotemem: store %d: unknown message %T", s.node, m.Payload))
+	}
+}

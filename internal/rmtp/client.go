@@ -1,0 +1,129 @@
+package rmtp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is a connection to one rmtp server. Methods are safe for
+// concurrent use; request/reply operations serialize on the connection.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	bw    *bufio.Writer
+	br    *bufio.Reader
+	owner string
+}
+
+// Dial connects to the server at addr and announces the owner name.
+func Dial(addr, owner string) (*Client, error) {
+	if owner == "" {
+		return nil, fmt.Errorf("rmtp: owner name required")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:  conn,
+		bw:    bufio.NewWriter(conn),
+		br:    bufio.NewReader(conn),
+		owner: owner,
+	}
+	if err := WriteFrame(c.bw, OpHello, 0, EncodeString(owner)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Owner returns the announced owner name.
+func (c *Client) Owner() string { return c.owner }
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// send writes one frame (one-way).
+func (c *Client) send(op Op, line int32, payload []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, op, line, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// call writes one frame and reads the matching reply.
+func (c *Client) call(op Op, line int32, payload []byte) (Op, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, op, line, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	rop, rline, rpayload, err := ReadFrame(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if rline != line {
+		return 0, nil, fmt.Errorf("rmtp: reply for line %d, want %d", rline, line)
+	}
+	return rop, rpayload, nil
+}
+
+// Store ships a line's entries (one-way, pipelined).
+func (c *Client) Store(line int32, entries []Entry) error {
+	return c.send(OpStore, line, EncodeEntries(entries))
+}
+
+// Fetch retrieves and releases a stored line.
+func (c *Client) Fetch(line int32) ([]Entry, error) {
+	op, payload, err := c.call(OpFetch, line, nil)
+	if err != nil {
+		return nil, err
+	}
+	if op == OpErr {
+		return nil, fmt.Errorf("rmtp: fetch line %d: %s", line, payload)
+	}
+	return DecodeEntries(payload)
+}
+
+// Update applies a one-way count increment for key at a stored line.
+func (c *Client) Update(line int32, key string) error {
+	return c.send(OpUpdate, line, EncodeString(key))
+}
+
+// Migrate asks the server to push the listed lines to another server and
+// returns the lines actually moved.
+func (c *Client) Migrate(dest string, lines []int32) ([]int32, error) {
+	payload := append(EncodeString(dest), EncodeLines(lines)...)
+	op, reply, err := c.call(OpMigrate, 0, payload)
+	if err != nil {
+		return nil, err
+	}
+	if op == OpErr {
+		return nil, fmt.Errorf("rmtp: migrate: %s", reply)
+	}
+	moved, _, err := DecodeLines(reply)
+	return moved, err
+}
+
+// Stat queries the server's occupancy.
+func (c *Client) Stat() (Stat, error) {
+	op, payload, err := c.call(OpStat, 0, nil)
+	if err != nil {
+		return Stat{}, err
+	}
+	if op == OpErr {
+		return Stat{}, fmt.Errorf("rmtp: stat: %s", payload)
+	}
+	return DecodeStat(payload)
+}

@@ -1,0 +1,193 @@
+// Package rmtp implements the Remote Memory Transfer Protocol: a compact
+// binary TCP protocol carrying the same operations the simulated cluster's
+// remote-memory layer uses — store a hash line, fetch it back, apply a
+// one-way update, migrate lines to another server, and query occupancy.
+// It demonstrates that the paper's application-level remote-memory interface
+// is directly implementable over commodity sockets; the examples and tests
+// run it over loopback.
+//
+// Framing: every message is
+//
+//	[1B op][4B line (big endian)][4B payload length][payload]
+//
+// Strings and entry lists are length-prefixed with uvarints inside the
+// payload. A session starts with OpHello carrying the client's owner id;
+// lines are namespaced per owner, as in the simulated store.
+package rmtp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op identifies a protocol operation.
+type Op uint8
+
+// Protocol operations.
+const (
+	OpHello   Op = 1  // payload: owner name
+	OpStore   Op = 2  // payload: entries (one-way)
+	OpFetch   Op = 3  // payload: empty; reply OpOK entries or OpErr
+	OpUpdate  Op = 4  // payload: key (one-way)
+	OpMigrate Op = 5  // payload: dest address + line list; reply OpOK moved list
+	OpStat    Op = 6  // payload: empty; reply OpOK stats
+	OpOK      Op = 16 // reply payload depends on request
+	OpErr     Op = 17 // reply payload: error message
+)
+
+// Entry mirrors memtable.Entry on the wire.
+type Entry struct {
+	Key   string
+	Count int32
+}
+
+// maxFrame bounds a frame payload to keep a malformed peer from forcing a
+// huge allocation.
+const maxFrame = 16 << 20
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, op Op, line int32, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("rmtp: frame payload %d exceeds limit", len(payload))
+	}
+	var hdr [9]byte
+	hdr[0] = byte(op)
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(line))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (op Op, line int32, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	op = Op(hdr[0])
+	line = int32(binary.BigEndian.Uint32(hdr[1:5]))
+	n := binary.BigEndian.Uint32(hdr[5:9])
+	if n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("rmtp: frame payload %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return op, line, payload, nil
+}
+
+// EncodeEntries serializes an entry list.
+func EncodeEntries(entries []Entry) []byte {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.AppendVarint(buf, int64(e.Count))
+	}
+	return buf
+}
+
+// DecodeEntries parses an entry list.
+func DecodeEntries(b []byte) ([]Entry, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, errors.New("rmtp: bad entry count")
+	}
+	if n > maxFrame/2 {
+		return nil, fmt.Errorf("rmtp: implausible entry count %d", n)
+	}
+	out := make([]Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		kl, m := binary.Uvarint(b[off:])
+		if m <= 0 || uint64(len(b)-off-m) < kl {
+			return nil, fmt.Errorf("rmtp: truncated key at entry %d", i)
+		}
+		off += m
+		key := string(b[off : off+int(kl)])
+		off += int(kl)
+		c, m := binary.Varint(b[off:])
+		if m <= 0 {
+			return nil, fmt.Errorf("rmtp: truncated count at entry %d", i)
+		}
+		off += m
+		out = append(out, Entry{Key: key, Count: int32(c)})
+	}
+	return out, nil
+}
+
+// EncodeString serializes a length-prefixed string.
+func EncodeString(s string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// DecodeString parses a length-prefixed string and returns the rest.
+func DecodeString(b []byte) (string, []byte, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 || uint64(len(b)-off) < n {
+		return "", nil, errors.New("rmtp: truncated string")
+	}
+	return string(b[off : off+int(n)]), b[off+int(n):], nil
+}
+
+// EncodeLines serializes a line-id list.
+func EncodeLines(lines []int32) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(lines)))
+	for _, l := range lines {
+		buf = binary.AppendVarint(buf, int64(l))
+	}
+	return buf
+}
+
+// DecodeLines parses a line-id list and returns the rest.
+func DecodeLines(b []byte) ([]int32, []byte, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, nil, errors.New("rmtp: bad line count")
+	}
+	if n > maxFrame/2 {
+		return nil, nil, fmt.Errorf("rmtp: implausible line count %d", n)
+	}
+	out := make([]int32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, m := binary.Varint(b[off:])
+		if m <= 0 {
+			return nil, nil, fmt.Errorf("rmtp: truncated line at %d", i)
+		}
+		off += m
+		out = append(out, int32(v))
+	}
+	return out, b[off:], nil
+}
+
+// Stat is the server occupancy report.
+type Stat struct {
+	Lines int64
+	Bytes int64
+}
+
+// EncodeStat serializes a Stat.
+func EncodeStat(s Stat) []byte {
+	buf := binary.AppendVarint(nil, s.Lines)
+	return binary.AppendVarint(buf, s.Bytes)
+}
+
+// DecodeStat parses a Stat.
+func DecodeStat(b []byte) (Stat, error) {
+	lines, off := binary.Varint(b)
+	if off <= 0 {
+		return Stat{}, errors.New("rmtp: bad stat")
+	}
+	bytes, m := binary.Varint(b[off:])
+	if m <= 0 {
+		return Stat{}, errors.New("rmtp: bad stat bytes")
+	}
+	return Stat{Lines: lines, Bytes: bytes}, nil
+}

@@ -1,0 +1,272 @@
+package rmtp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// entryMemBytes mirrors the paper's 24-byte-per-candidate accounting.
+const entryMemBytes = 24
+
+type ownerLine struct {
+	owner string
+	line  int32
+}
+
+// Server is a remote-memory store reachable over TCP. Lines are namespaced
+// by the owner name announced in OpHello; a fetch releases the stored copy,
+// an update increments a key's count in place, and a migrate pushes lines to
+// another server and leaves a forwarding note.
+type Server struct {
+	mu       sync.Mutex
+	lines    map[ownerLine][]Entry
+	forward  map[ownerLine]string // address lines migrated to
+	capacity int64
+	used     int64
+
+	ln     net.Listener
+	logf   func(string, ...any)
+	wg     sync.WaitGroup
+	closed bool
+
+	stores, fetches, updates, migrated uint64
+}
+
+// NewServer creates a server with the given capacity in bytes (0 =
+// unlimited).
+func NewServer(capacity int64) *Server {
+	return &Server{
+		lines:    make(map[ownerLine][]Entry),
+		forward:  make(map[ownerLine]string),
+		capacity: capacity,
+		logf:     func(string, ...any) {},
+	}
+}
+
+// SetLogger directs diagnostic output (default: silent).
+func (s *Server) SetLogger(f func(string, ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Listen binds the server to addr ("127.0.0.1:0" for an ephemeral port) and
+// begins serving in background goroutines.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address (valid after Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting and waits for connection handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns operation counters.
+func (s *Server) Stats() (stores, fetches, updates, migrated uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stores, s.fetches, s.updates, s.migrated
+}
+
+// Occupancy returns current line and byte counts.
+func (s *Server) Occupancy() Stat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stat{Lines: int64(len(s.lines)), Bytes: s.used}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				s.logf("rmtp server: accept: %v", err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	owner := ""
+	for {
+		op, line, payload, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer ends the session
+		}
+		if op == OpHello {
+			name, _, err := DecodeString(payload)
+			if err != nil || name == "" {
+				s.reply(conn, OpErr, line, []byte("bad hello"))
+				return
+			}
+			owner = name
+			continue
+		}
+		if owner == "" {
+			s.reply(conn, OpErr, line, []byte("hello required"))
+			return
+		}
+		if err := s.handle(conn, owner, op, line, payload); err != nil {
+			s.logf("rmtp server: %s op %d line %d: %v", owner, op, line, err)
+			return
+		}
+	}
+}
+
+func (s *Server) reply(conn net.Conn, op Op, line int32, payload []byte) error {
+	return WriteFrame(conn, op, line, payload)
+}
+
+func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload []byte) error {
+	key := ownerLine{owner, line}
+	switch op {
+	case OpStore:
+		entries, err := DecodeEntries(payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		need := int64(len(entries)) * entryMemBytes
+		if s.capacity > 0 && s.used+need > s.capacity {
+			s.mu.Unlock()
+			// A one-way op cannot be refused in-band; log and drop. The
+			// simulated layer avoids this by monitoring availability.
+			s.logf("rmtp server: capacity exceeded storing line %d of %s", line, owner)
+			return nil
+		}
+		if old, ok := s.lines[key]; ok {
+			s.used -= int64(len(old)) * entryMemBytes
+		}
+		s.lines[key] = entries
+		s.used += need
+		delete(s.forward, key)
+		s.stores++
+		s.mu.Unlock()
+		return nil
+
+	case OpFetch:
+		s.mu.Lock()
+		entries, ok := s.lines[key]
+		fwd, hasFwd := s.forward[key]
+		if ok {
+			delete(s.lines, key)
+			s.used -= int64(len(entries)) * entryMemBytes
+			s.fetches++
+		}
+		s.mu.Unlock()
+		if !ok {
+			if hasFwd {
+				return s.reply(conn, OpErr, line, []byte("moved to "+fwd))
+			}
+			return s.reply(conn, OpErr, line, []byte("not held"))
+		}
+		return s.reply(conn, OpOK, line, EncodeEntries(entries))
+
+	case OpUpdate:
+		k, _, err := DecodeString(payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if entries, ok := s.lines[key]; ok {
+			s.updates++
+			for i := range entries {
+				if entries[i].Key == k {
+					entries[i].Count++
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+		return nil
+
+	case OpMigrate:
+		dest, rest, err := DecodeString(payload)
+		if err != nil {
+			return err
+		}
+		lines, _, err := DecodeLines(rest)
+		if err != nil {
+			return err
+		}
+		moved, err := s.migrate(owner, dest, lines)
+		if err != nil {
+			return s.reply(conn, OpErr, line, []byte(err.Error()))
+		}
+		return s.reply(conn, OpOK, line, EncodeLines(moved))
+
+	case OpStat:
+		return s.reply(conn, OpOK, line, EncodeStat(s.Occupancy()))
+
+	default:
+		return fmt.Errorf("unknown op %d", op)
+	}
+}
+
+// migrate pushes the owner's listed lines to the destination server.
+func (s *Server) migrate(owner, dest string, lines []int32) ([]int32, error) {
+	if dest == "" {
+		return nil, errors.New("empty migration destination")
+	}
+	cl, err := Dial(dest, owner)
+	if err != nil {
+		return nil, fmt.Errorf("dialing %s: %w", dest, err)
+	}
+	defer cl.Close()
+	var moved []int32
+	for _, line := range lines {
+		key := ownerLine{owner, line}
+		s.mu.Lock()
+		entries, ok := s.lines[key]
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if err := cl.Store(line, entries); err != nil {
+			return moved, fmt.Errorf("storing line %d at %s: %w", line, dest, err)
+		}
+		s.mu.Lock()
+		delete(s.lines, key)
+		s.used -= int64(len(entries)) * entryMemBytes
+		s.forward[key] = dest
+		s.migrated++
+		s.mu.Unlock()
+		moved = append(moved, line)
+	}
+	return moved, nil
+}

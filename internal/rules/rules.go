@@ -1,0 +1,125 @@
+// Package rules derives association rules from the large itemsets found by
+// mining: for a large itemset l and a nonempty proper subset a, the rule
+// a ⇒ (l − a) holds with confidence support(l)/support(a) and is reported
+// when that confidence meets the user threshold.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/apriori"
+	"repro/internal/itemset"
+)
+
+// Rule is an association rule with its quality measures.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+	Support    float64 // fraction of transactions containing antecedent ∪ consequent
+	Confidence float64 // support(l) / support(antecedent)
+	Lift       float64 // confidence / support(consequent)
+}
+
+// String renders the rule in the paper's "if A and B then C (90%)" spirit.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f%%, conf %.1f%%, lift %.2f)",
+		r.Antecedent, r.Consequent, 100*r.Support, 100*r.Confidence, r.Lift)
+}
+
+// Derive extracts all rules meeting minConfidence from the mining result.
+// Rules are returned sorted by confidence (descending), then support
+// (descending), then antecedent order, so output is deterministic.
+func Derive(res *apriori.Result, minConfidence float64) ([]Rule, error) {
+	if res == nil || res.Transactions == 0 {
+		return nil, errors.New("rules: empty mining result")
+	}
+	if minConfidence <= 0 || minConfidence > 1 {
+		return nil, errors.New("rules: minConfidence must be in (0,1]")
+	}
+	n := float64(res.Transactions)
+	var out []Rule
+	for k := 2; k < len(res.Large); k++ {
+		for _, l := range res.Large[k] {
+			supL, ok := res.Support[l.Key()]
+			if !ok {
+				return nil, fmt.Errorf("rules: missing support for %v", l)
+			}
+			// Every nonempty proper subset as antecedent.
+			enumerateSubsets(l, func(a itemset.Itemset) {
+				supA, ok := res.Support[a.Key()]
+				if !ok || supA == 0 {
+					return // antecedent of a large set must be large; defensive
+				}
+				conf := float64(supL) / float64(supA)
+				if conf < minConfidence {
+					return
+				}
+				c := difference(l, a)
+				lift := 0.0
+				if supC, ok := res.Support[c.Key()]; ok && supC > 0 {
+					lift = conf / (float64(supC) / n)
+				}
+				out = append(out, Rule{
+					Antecedent: a.Clone(),
+					Consequent: c,
+					Support:    float64(supL) / n,
+					Confidence: conf,
+					Lift:       lift,
+				})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		if !out[i].Antecedent.Equal(out[j].Antecedent) {
+			return out[i].Antecedent.Less(out[j].Antecedent)
+		}
+		return out[i].Consequent.Less(out[j].Consequent)
+	})
+	return out, nil
+}
+
+// enumerateSubsets calls fn with every nonempty proper subset of l; the
+// argument is a scratch buffer reused between calls.
+func enumerateSubsets(l itemset.Itemset, fn func(itemset.Itemset)) {
+	n := len(l)
+	buf := make(itemset.Itemset, 0, n)
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, l[i])
+			}
+		}
+		fn(buf)
+	}
+}
+
+// difference returns l − a for canonical a ⊆ l.
+func difference(l, a itemset.Itemset) itemset.Itemset {
+	out := make(itemset.Itemset, 0, len(l)-len(a))
+	i := 0
+	for _, x := range l {
+		if i < len(a) && a[i] == x {
+			i++
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Top returns the first n rules (or all if fewer).
+func Top(rs []Rule, n int) []Rule {
+	if n > len(rs) {
+		n = len(rs)
+	}
+	return rs[:n]
+}

@@ -1,0 +1,153 @@
+package rules
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/itemset"
+)
+
+func minedToy(t *testing.T) *apriori.Result {
+	t.Helper()
+	txns := []itemset.Itemset{
+		itemset.New(1, 3, 4),
+		itemset.New(2, 3, 5),
+		itemset.New(1, 2, 3, 5),
+		itemset.New(2, 5),
+	}
+	res, err := apriori.Mine(txns, apriori.Config{MinSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func findRule(rs []Rule, a, c itemset.Itemset) *Rule {
+	for i := range rs {
+		if rs[i].Antecedent.Equal(a) && rs[i].Consequent.Equal(c) {
+			return &rs[i]
+		}
+	}
+	return nil
+}
+
+func TestDeriveToyConfidences(t *testing.T) {
+	res := minedToy(t)
+	rs, err := Derive(res, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {2}=>{5}: sup({2,5})=3, sup({2})=3 → conf 1.0
+	r := findRule(rs, itemset.New(2), itemset.New(5))
+	if r == nil {
+		t.Fatal("rule {2}=>{5} missing")
+	}
+	if math.Abs(r.Confidence-1.0) > 1e-12 {
+		t.Errorf("conf({2}=>{5}) = %g, want 1.0", r.Confidence)
+	}
+	if math.Abs(r.Support-0.75) > 1e-12 {
+		t.Errorf("sup({2}=>{5}) = %g, want 0.75", r.Support)
+	}
+	// lift = conf / sup({5}) = 1.0 / 0.75
+	if math.Abs(r.Lift-4.0/3.0) > 1e-12 {
+		t.Errorf("lift({2}=>{5}) = %g, want 4/3", r.Lift)
+	}
+	// {3}=>{2,5}: sup({2,3,5})=2, sup({3})=3 → conf 2/3
+	r = findRule(rs, itemset.New(3), itemset.New(2, 5))
+	if r == nil {
+		t.Fatal("rule {3}=>{2,5} missing")
+	}
+	if math.Abs(r.Confidence-2.0/3.0) > 1e-12 {
+		t.Errorf("conf({3}=>{2,5}) = %g, want 2/3", r.Confidence)
+	}
+}
+
+func TestDeriveThresholdFilters(t *testing.T) {
+	res := minedToy(t)
+	all, _ := Derive(res, 0.01)
+	strict, _ := Derive(res, 0.99)
+	if len(strict) >= len(all) {
+		t.Errorf("threshold did not filter: %d vs %d", len(strict), len(all))
+	}
+	for _, r := range strict {
+		if r.Confidence < 0.99 {
+			t.Errorf("rule %v below threshold", r)
+		}
+	}
+}
+
+func TestDeriveSortedByConfidence(t *testing.T) {
+	res := minedToy(t)
+	rs, _ := Derive(res, 0.01)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Confidence > rs[i-1].Confidence {
+			t.Fatalf("rules not sorted by confidence at %d", i)
+		}
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	res := minedToy(t)
+	a, _ := Derive(res, 0.01)
+	b, _ := Derive(res, 0.01)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic rule count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("rule %d differs across runs", i)
+		}
+	}
+}
+
+func TestDeriveCoversAllSubsets(t *testing.T) {
+	res := minedToy(t)
+	rs, _ := Derive(res, 0.01)
+	// {2,3,5} is large: 6 nonempty proper subsets → up to 6 rules from it.
+	n := 0
+	for _, r := range rs {
+		u := itemset.New(append(r.Antecedent.Clone(), r.Consequent...)...)
+		if u.Equal(itemset.New(2, 3, 5)) {
+			n++
+		}
+	}
+	if n != 6 {
+		t.Errorf("%d rules derived from {2,3,5}, want 6 at low threshold", n)
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	if _, err := Derive(nil, 0.5); err == nil {
+		t.Error("nil result accepted")
+	}
+	res := minedToy(t)
+	if _, err := Derive(res, 0); err == nil {
+		t.Error("zero confidence accepted")
+	}
+	if _, err := Derive(res, 1.1); err == nil {
+		t.Error("confidence > 1 accepted")
+	}
+}
+
+func TestTop(t *testing.T) {
+	res := minedToy(t)
+	rs, _ := Derive(res, 0.01)
+	if got := Top(rs, 3); len(got) != 3 {
+		t.Errorf("Top(3) = %d rules", len(got))
+	}
+	if got := Top(rs, 10_000); len(got) != len(rs) {
+		t.Errorf("Top(huge) = %d rules, want %d", len(got), len(rs))
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: itemset.New(1),
+		Consequent: itemset.New(2),
+		Support:    0.5, Confidence: 0.9, Lift: 1.2,
+	}
+	if got := r.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

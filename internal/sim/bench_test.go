@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventDispatch measures raw kernel event throughput (no process
+// handshakes) — the floor cost of every simulated action.
+func BenchmarkEventDispatch(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n < b.N {
+			k.After(Microsecond, loop)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, loop)
+	k.Run()
+}
+
+// BenchmarkProcSleepHandshake measures the goroutine handshake cost of a
+// process blocking and resuming — the unit cost of faults and messages.
+func BenchmarkProcSleepHandshake(b *testing.B) {
+	k := NewKernel()
+	k.Go("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkChanPingPong measures two processes exchanging values.
+func BenchmarkChanPingPong(b *testing.B) {
+	k := NewKernel()
+	ping := NewChan[int](k, "ping")
+	pong := NewChan[int](k, "pong")
+	k.Go("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Send(p, i)
+			pong.Recv(p)
+		}
+	})
+	k.Go("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			v := ping.Recv(p)
+			pong.Send(p, v)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkWorkAccrual measures the deferred-charge fast path: Work calls
+// are plain arithmetic until a blocking operation flushes them.
+func BenchmarkWorkAccrual(b *testing.B) {
+	k := NewKernel()
+	k.Go("worker", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Work(10 * Nanosecond)
+		}
+		p.Flush()
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,86 @@
+package sim
+
+// Chan is an unbounded FIFO message queue connecting simulation processes.
+// Send never blocks (senders model transmission delay separately, e.g. via a
+// NIC Resource); Recv blocks the calling process until a value is available.
+// Values may also be injected from kernel (event) context with Push, which is
+// how network deliveries arrive.
+type Chan[T any] struct {
+	k       *Kernel
+	name    string
+	buf     []T
+	waiters []*chanWaiter[T]
+	sent    uint64
+}
+
+type chanWaiter[T any] struct {
+	p   *Proc
+	val T
+}
+
+// NewChan creates an empty channel owned by kernel k.
+func NewChan[T any](k *Kernel, name string) *Chan[T] {
+	return &Chan[T]{k: k, name: name}
+}
+
+// Name returns the channel's diagnostic name.
+func (c *Chan[T]) Name() string { return c.name }
+
+// Len returns the number of buffered (undelivered) values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Sent returns the total number of values ever pushed.
+func (c *Chan[T]) Sent() uint64 { return c.sent }
+
+// Push enqueues v at the current instant. Safe from kernel (event) context;
+// also usable from process context via Send.
+func (c *Chan[T]) Push(v T) {
+	c.sent++
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		copy(c.waiters, c.waiters[1:])
+		c.waiters[len(c.waiters)-1] = nil
+		c.waiters = c.waiters[:len(c.waiters)-1]
+		w.val = v
+		c.k.After(0, c.k.wakeEvent(w.p))
+		return
+	}
+	c.buf = append(c.buf, v)
+}
+
+// Send enqueues v from process context. Pending Work on p is flushed first so
+// the value is timestamped after the work that produced it.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	p.Flush()
+	c.Push(v)
+}
+
+// Recv blocks p until a value is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	p.Flush()
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		var zero T
+		c.buf[0] = zero
+		c.buf = c.buf[1:]
+		return v
+	}
+	w := &chanWaiter[T]{p: p}
+	c.waiters = append(c.waiters, w)
+	p.yield()
+	return w.val
+}
+
+// TryRecv returns a buffered value without blocking; ok reports whether one
+// was available.
+func (c *Chan[T]) TryRecv(p *Proc) (v T, ok bool) {
+	p.Flush()
+	if len(c.buf) == 0 {
+		return v, false
+	}
+	v = c.buf[0]
+	var zero T
+	c.buf[0] = zero
+	c.buf = c.buf[1:]
+	return v, true
+}

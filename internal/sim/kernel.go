@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq breaks ties), which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulator. The zero value is not usable; create
+// one with NewKernel.
+type Kernel struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	ctl    chan struct{} // processes signal the kernel here when they block or end
+	procs  int           // live (not yet terminated) processes
+	events uint64        // dispatched event count
+	failed error         // first process panic, re-raised from Run
+	all    []*Proc       // every spawned process, for Shutdown
+	down   bool          // set by Shutdown; blocked procs unwind on resume
+
+	// MaxEvents, when nonzero, bounds the number of dispatched events;
+	// exceeding it makes Run panic. It guards against runaway simulations
+	// in tests.
+	MaxEvents uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty event queue.
+func NewKernel() *Kernel {
+	return &Kernel{ctl: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events dispatched so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// Procs returns the number of live processes.
+func (k *Kernel) Procs() int { return k.procs }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.At(k.now.Add(d), fn)
+}
+
+// Go spawns a new simulation process at the current time. The body runs in
+// its own goroutine, but the kernel guarantees only one process executes at
+// a time. The name appears in diagnostics.
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs++
+	k.all = append(k.all, p)
+	k.After(0, func() {
+		go p.run(body)
+		<-k.ctl
+	})
+	return p
+}
+
+// Shutdown terminates every process still blocked on a Chan, Resource, or
+// sleep by resuming it into an unwinding path (its goroutine exits, running
+// deferred functions). A drained simulation otherwise leaves those
+// goroutines parked forever, pinning the whole run's memory — fatal for
+// hosts that execute many simulations in one process. Call after Run.
+func (k *Kernel) Shutdown() {
+	k.down = true
+	for _, p := range k.all {
+		if p.done || !p.started {
+			continue
+		}
+		k.activate(p)
+	}
+	k.all = nil
+}
+
+// Run dispatches events until the queue is empty, then returns the final
+// virtual time. Processes still blocked on a Chan or Resource at that point
+// simply never resume (as in any event simulation, a silent system is a
+// finished system). If a process panicked, Run re-panics with its value.
+func (k *Kernel) Run() Time {
+	for k.queue.Len() > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.at < k.now {
+			panic("sim: event queue went backwards")
+		}
+		k.now = ev.at
+		k.events++
+		if k.MaxEvents != 0 && k.events > k.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", k.MaxEvents, k.now))
+		}
+		ev.fn()
+		if k.failed != nil {
+			panic(k.failed)
+		}
+	}
+	return k.now
+}
+
+// RunUntil dispatches events with timestamps ≤ deadline and then sets the
+// clock to deadline. Events beyond the deadline stay queued; a later Run or
+// RunUntil continues from there.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	for k.queue.Len() > 0 && k.queue[0].at <= deadline {
+		ev := heap.Pop(&k.queue).(*event)
+		k.now = ev.at
+		k.events++
+		if k.MaxEvents != 0 && k.events > k.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at %v", k.MaxEvents, k.now))
+		}
+		ev.fn()
+		if k.failed != nil {
+			panic(k.failed)
+		}
+	}
+	if deadline > k.now {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// activate transfers control to p and waits until it blocks or terminates.
+// Must only be called from kernel (event) context.
+func (k *Kernel) activate(p *Proc) {
+	p.resume <- struct{}{}
+	<-k.ctl
+}
+
+// wakeEvent returns an event callback that resumes p.
+func (k *Kernel) wakeEvent(p *Proc) func() {
+	return func() { k.activate(p) }
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Proc is a simulation process: a goroutine whose execution interleaves with
+// virtual time under kernel control. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	done    bool
+	started bool
+
+	// pending is CPU work accumulated via Work but not yet turned into a
+	// Sleep. It is flushed before any operation that can observe time or
+	// interact with other processes, so causality is preserved while
+	// avoiding one kernel handshake per fine-grained charge.
+	pending Duration
+
+	// cpu, when bound, is the processor this process's Work contends on:
+	// flushing pending work acquires the resource for the charge's duration,
+	// so co-located processes (on a uniprocessor node) serialize their
+	// compute while pure delays (network, device waits) still overlap.
+	cpu *Resource
+}
+
+// BindCPU makes all future Work charges contend on the given capacity
+// resource (typically the node's processor). Pass nil to unbind.
+func (p *Proc) BindCPU(r *Resource) { p.cpu = r }
+
+// Name returns the process name given at spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time, including any pending Work charge.
+func (p *Proc) Now() Time { return p.k.now.Add(p.pending) }
+
+func (p *Proc) run(body func(*Proc)) {
+	p.started = true
+	defer func() {
+		p.done = true
+		p.k.procs--
+		if r := recover(); r != nil {
+			p.k.failed = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+		}
+		p.k.ctl <- struct{}{}
+	}()
+	body(p)
+}
+
+// yield returns control to the kernel and blocks until resumed. If the
+// kernel is shutting down, the resume unwinds this goroutine instead (its
+// deferred handlers in run still execute and hand control back).
+func (p *Proc) yield() {
+	p.k.ctl <- struct{}{}
+	<-p.resume
+	if p.k.down {
+		runtime.Goexit()
+	}
+}
+
+// Work accrues d of CPU time to be charged lazily. It is the cheap way to
+// account for per-item computation inside tight loops: the charge is applied
+// as a single Sleep at the next blocking operation (or explicit Flush).
+func (p *Proc) Work(d Duration) {
+	if d < 0 {
+		panic("sim: negative work")
+	}
+	p.pending += d
+}
+
+// Flush converts accumulated Work into elapsed virtual time, holding the
+// bound CPU (if any) for the duration of the charge.
+func (p *Proc) Flush() {
+	if p.pending <= 0 {
+		return
+	}
+	d := p.pending
+	p.pending = 0
+	if p.cpu != nil {
+		p.cpu.acquire(p)
+		p.sleep(d)
+		p.cpu.release()
+		return
+	}
+	p.sleep(d)
+}
+
+// Sleep advances virtual time by d (after flushing pending work).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.Flush()
+	p.sleep(d)
+}
+
+func (p *Proc) sleep(d Duration) {
+	p.k.After(d, p.k.wakeEvent(p))
+	p.yield()
+}
+
+// SleepUntil advances virtual time to absolute time t (no-op if t is in the
+// past after flushing pending work).
+func (p *Proc) SleepUntil(t Time) {
+	p.Flush()
+	if t <= p.k.now {
+		return
+	}
+	p.k.At(t, p.k.wakeEvent(p))
+	p.yield()
+}

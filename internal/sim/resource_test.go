@@ -1,0 +1,114 @@
+package sim
+
+import "testing"
+
+func TestResourceSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "disk", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		k.Go("user", func(p *Proc) {
+			r.Use(p, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	want := []Time{Time(10 * Millisecond), Time(20 * Millisecond), Time(30 * Millisecond)}
+	if len(finish) != 3 {
+		t.Fatalf("finish = %v", finish)
+	}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v (strict serialization)", finish, want)
+		}
+	}
+	if r.BusyTime() != 30*Millisecond {
+		t.Errorf("BusyTime = %v, want 30ms", r.BusyTime())
+	}
+	if r.Acquires() != 3 {
+		t.Errorf("Acquires = %d, want 3", r.Acquires())
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "pool", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		k.Go("user", func(p *Proc) {
+			r.Use(p, 10*Millisecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	k.Run()
+	// Two run [0,10], two run [10,20].
+	counts := map[Time]int{}
+	for _, f := range finish {
+		counts[f]++
+	}
+	if counts[Time(10*Millisecond)] != 2 || counts[Time(20*Millisecond)] != 2 {
+		t.Errorf("finish times %v, want two at 10ms and two at 20ms", finish)
+	}
+}
+
+func TestResourceFIFOFairness(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Go("u", func(p *Proc) {
+			p.Sleep(Duration(i) * Microsecond) // arrival order = i
+			r.Acquire(p)
+			order = append(order, i)
+			p.Sleep(Millisecond)
+			r.Release(p)
+		})
+	}
+	k.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("non-FIFO grant order %v", order)
+		}
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	k.Go("u", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("release of idle resource did not panic")
+			}
+		}()
+		r.Release(p)
+	})
+	func() {
+		defer func() { recover() }()
+		k.Run()
+	}()
+}
+
+func TestResourceQueueLen(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	k.Go("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10 * Millisecond)
+		if r.QueueLen() != 2 {
+			t.Errorf("QueueLen = %d while holding, want 2", r.QueueLen())
+		}
+		r.Release(p)
+	})
+	for i := 0; i < 2; i++ {
+		k.Go("waiter", func(p *Proc) {
+			p.Sleep(Millisecond)
+			r.Use(p, Millisecond)
+		})
+	}
+	k.Run()
+	if r.QueueLen() != 0 || r.InUse() != 0 {
+		t.Errorf("resource left busy: queue=%d inUse=%d", r.QueueLen(), r.InUse())
+	}
+}

@@ -1,0 +1,70 @@
+// Package sim provides a process-oriented discrete-event simulation kernel.
+//
+// A Kernel owns a virtual clock and an event queue. Processes are ordinary
+// goroutines spawned with Kernel.Go; the kernel guarantees that at most one
+// process runs at any instant (a strict handshake transfers control between
+// the kernel goroutine and process goroutines), so process code needs no
+// locking. Processes advance virtual time with Proc.Sleep, accumulate fine-
+// grained CPU charges with Proc.Work, exchange values through Chan, and
+// serialize on shared devices through Resource.
+//
+// The kernel is deterministic: given the same program and seeds, event order
+// is identical across runs.
+package sim
+
+import "fmt"
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats the duration in engineering units.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Seconds reports the absolute time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two absolute times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// String formats the absolute time in seconds.
+func (t Time) String() string { return fmt.Sprintf("t=%.6fs", t.Seconds()) }
+
+// DurationOfSeconds converts floating-point seconds into a Duration.
+func DurationOfSeconds(s float64) Duration { return Duration(s * float64(Second)) }

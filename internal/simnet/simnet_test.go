@@ -1,0 +1,221 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func cfg() Config { return PaperATM() }
+
+func TestTxTimeScalesWithSize(t *testing.T) {
+	c := cfg()
+	small := c.TxTime(100)
+	oneBlock := c.TxTime(4096)
+	twoBlocks := c.TxTime(8192)
+	if small <= 0 || oneBlock <= small || twoBlocks <= oneBlock {
+		t.Errorf("TxTime not increasing: %v %v %v", small, oneBlock, twoBlocks)
+	}
+	// A 4 KB block at 120 Mbps ≈ 0.27 ms wire time (+overhead).
+	ms := oneBlock.Milliseconds()
+	if ms < 0.25 || ms > 0.40 {
+		t.Errorf("4KB block tx time %.3f ms, want ≈0.27-0.3 ms", ms)
+	}
+}
+
+func TestPointToPointLatency(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 2)
+	inbox := nw.Inbox(1, 0)
+	var arrival sim.Time
+	k.Go("sender", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 0, "hello", 4096)
+	})
+	k.Go("receiver", func(p *sim.Proc) {
+		m := inbox.Recv(p)
+		arrival = p.Now()
+		if m.Payload.(string) != "hello" || m.From != 0 {
+			t.Errorf("bad message %+v", m)
+		}
+	})
+	k.Run()
+	want := cfg().TxTime(4096) + cfg().Latency
+	if arrival != sim.Time(want) {
+		t.Errorf("arrival at %v, want %v (tx+latency)", arrival, want)
+	}
+}
+
+func TestRoundTripMatchesPaper(t *testing.T) {
+	// Paper §5.2: point-to-point RTT ≈ 0.5 ms for small messages.
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 2)
+	var rtt sim.Duration
+	k.Go("client", func(p *sim.Proc) {
+		start := p.Now()
+		nw.Send(p, 0, 1, 0, nil, 64)
+		nw.Inbox(0, 0).Recv(p)
+		rtt = p.Now().Sub(start)
+	})
+	k.Go("server", func(p *sim.Proc) {
+		nw.Inbox(1, 0).Recv(p)
+		nw.Send(p, 1, 0, 0, nil, 64)
+	})
+	k.Run()
+	ms := rtt.Milliseconds()
+	if ms < 0.4 || ms > 0.7 {
+		t.Errorf("small-message RTT %.3f ms, want ≈0.5 ms", ms)
+	}
+}
+
+func TestNICSerializesSends(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 3)
+	var done []sim.Time
+	// Two processes on node 0 send concurrently: second transmission must
+	// wait for the first (single transmit NIC).
+	for i := 0; i < 2; i++ {
+		to := i + 1
+		k.Go("s", func(p *sim.Proc) {
+			nw.Send(p, 0, to, 0, nil, 4096)
+			done = append(done, p.Now())
+		})
+	}
+	k.Run()
+	tx := cfg().TxTime(4096)
+	if len(done) != 2 {
+		t.Fatal("sends did not complete")
+	}
+	if done[0] != sim.Time(tx) || done[1] != sim.Time(2*tx) {
+		t.Errorf("send completions %v, want serialized at %v and %v", done, tx, 2*tx)
+	}
+}
+
+func TestParallelLinksDoNotInterfere(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 4)
+	var done []sim.Time
+	// Different source nodes transmit simultaneously: star topology, no
+	// shared medium, both finish at tx time.
+	for i := 0; i < 2; i++ {
+		from, to := i, 2+i
+		k.Go("s", func(p *sim.Proc) {
+			nw.Send(p, from, to, 0, nil, 4096)
+			done = append(done, p.Now())
+		})
+	}
+	k.Run()
+	tx := sim.Time(cfg().TxTime(4096))
+	for _, d := range done {
+		if d != tx {
+			t.Errorf("independent links serialized: completions %v, want all %v", done, tx)
+		}
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	k := sim.NewKernel()
+	const n = 5
+	nw := New(k, cfg(), n)
+	got := map[int]bool{}
+	for i := 1; i < n; i++ {
+		i := i
+		k.Go("r", func(p *sim.Proc) {
+			m := nw.Inbox(i, 3).Recv(p)
+			got[i] = m.Payload.(int) == 7
+		})
+	}
+	k.Go("b", func(p *sim.Proc) {
+		nw.Broadcast(p, 0, 3, 7, 128)
+	})
+	k.Run()
+	for i := 1; i < n; i++ {
+		if !got[i] {
+			t.Errorf("node %d missed broadcast", i)
+		}
+	}
+	if nw.Messages() != n-1 {
+		t.Errorf("Messages = %d, want %d", nw.Messages(), n-1)
+	}
+}
+
+func TestSelfSendBypassesWire(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 2)
+	k.Go("self", func(p *sim.Proc) {
+		nw.Send(p, 0, 0, 0, "loop", 4096)
+		m, ok := nw.Inbox(0, 0).TryRecv(p)
+		if !ok || m.Payload.(string) != "loop" {
+			t.Error("self-send not delivered immediately")
+		}
+	})
+	k.Run()
+	if nw.Messages() != 0 {
+		t.Errorf("self-send counted as wire message")
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 2)
+	k.Go("s", func(p *sim.Proc) {
+		nw.Send(p, 0, 1, 0, nil, 1000)
+		nw.Send(p, 0, 1, 0, nil, 2000)
+	})
+	k.Go("r", func(p *sim.Proc) {
+		nw.Inbox(1, 0).Recv(p)
+		nw.Inbox(1, 0).Recv(p)
+	})
+	k.Run()
+	if nw.Bytes() != 3000 {
+		t.Errorf("Bytes = %d, want 3000", nw.Bytes())
+	}
+	msgs, bytes := nw.NodeTx(0)
+	if msgs != 2 || bytes != 3000 {
+		t.Errorf("NodeTx(0) = %d,%d; want 2,3000", msgs, bytes)
+	}
+	if nw.NodeRx(1) != 2 {
+		t.Errorf("NodeRx(1) = %d, want 2", nw.NodeRx(1))
+	}
+	if nw.TxBusy(0) <= 0 {
+		t.Error("TxBusy not accounted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Latency: -1, BitsPerSecond: 1e6, BlockSize: 100},
+		{Latency: 0, BitsPerSecond: 0, BlockSize: 100},
+		{Latency: 0, BitsPerSecond: 1e6, BlockSize: 0},
+		{Latency: 0, BitsPerSecond: 1e6, BlockSize: 10, PerBlockOverhead: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if err := PaperATM().Validate(); err != nil {
+		t.Errorf("PaperATM invalid: %v", err)
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, cfg(), 2)
+	var got []int
+	k.Go("s", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			nw.Send(p, 0, 1, 0, i, 512)
+		}
+	})
+	k.Go("r", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, nw.Inbox(1, 0).Recv(p).Payload.(int))
+		}
+	})
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out-of-order delivery: %v", got)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package stats provides small numeric helpers and fixed-width text table
+// rendering for experiment reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are kept as-is.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	StdDev   float64
+	Sum      float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// Skew reports (max-min)/mean as a percentage — the imbalance measure for
+// Table 3's per-node candidate distribution.
+func Skew(xs []float64) float64 {
+	s := Summarize(xs)
+	if s.Mean == 0 {
+		return 0
+	}
+	return 100 * (s.Max - s.Min) / s.Mean
+}
+
+// Ratio formats a/b as "x.xx×", guarding division by zero.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2f×", a/b)
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Title", "a", "bb", "ccc")
+	tbl.Add("1", "22", "333")
+	tbl.Add("4444", "5", "6")
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Column alignment: "bb" and "22" and "5" start at the same offset.
+	h := strings.Index(lines[1], "bb")
+	if strings.Index(lines[3], "22") != h || strings.Index(lines[4], "5") != h {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableNoHeaders(t *testing.T) {
+	tbl := &Table{}
+	tbl.Add("x", "y")
+	out := tbl.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("rule printed without headers:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.Add("1", "extra", "more")
+	if out := tbl.String(); !strings.Contains(out, "more") {
+		t.Errorf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	if math.Abs(s.StdDev-2.138089935299395) > 1e-9 {
+		t.Errorf("stddev = %g", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	if got := Skew([]float64{100, 100, 100}); got != 0 {
+		t.Errorf("uniform skew = %g", got)
+	}
+	if got := Skew([]float64{90, 110}); math.Abs(got-20) > 1e-9 {
+		t.Errorf("skew = %g, want 20", got)
+	}
+	if got := Skew(nil); got != 0 {
+		t.Errorf("empty skew = %g", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(6, 3); got != "2.00×" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "∞" {
+		t.Errorf("Ratio div0 = %q", got)
+	}
+}

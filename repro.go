@@ -1,0 +1,308 @@
+// Package repro is a reproduction of "Using Available Remote Memory
+// Dynamically for Parallel Data Mining Application on ATM-Connected PC
+// Cluster" (Oguchi & Kitsuregawa, IPPS 2000).
+//
+// It provides, behind one public API:
+//
+//   - sequential association-rule mining (Apriori) and rule derivation;
+//   - Hash Partitioned Apriori (HPA) on a simulated ATM-connected PC
+//     cluster, executed on a deterministic discrete-event kernel;
+//   - the paper's remote-memory mechanisms: dynamic remote memory
+//     acquisition with simple swapping, remote update operations, the
+//     availability monitor, and migration between memory-available nodes;
+//   - the disk-swap baseline; and
+//   - harnesses regenerating every table and figure of the evaluation.
+//
+// Quick start:
+//
+//	cfg := repro.DefaultConfig()
+//	cfg.Workload.Transactions = 20000
+//	res, err := repro.Run(cfg)
+//
+// See examples/ for runnable scenarios and EXPERIMENTS.md for
+// paper-vs-measured results.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/itemset"
+	"repro/internal/memtable"
+	"repro/internal/quest"
+	"repro/internal/rules"
+	"repro/internal/sim"
+)
+
+// Policy selects how the counting phase treats swapped-out hash lines.
+type Policy int
+
+const (
+	// SimpleSwapping faults lines back on access (§4.3).
+	SimpleSwapping Policy = iota
+	// RemoteUpdate pins lines remotely and sends one-way updates (§4.4).
+	RemoteUpdate
+)
+
+func (p Policy) String() string {
+	if p == RemoteUpdate {
+		return "remote-update"
+	}
+	return "simple-swapping"
+}
+
+// SwapDevice selects where overflowing candidate memory spills.
+type SwapDevice int
+
+const (
+	// NoSwap disables the memory limit machinery.
+	NoSwap SwapDevice = iota
+	// RemoteMemory spills to memory-available nodes (the paper's proposal).
+	RemoteMemory
+	// LocalDisk spills to a node-local disk (the paper's baseline).
+	LocalDisk
+)
+
+func (d SwapDevice) String() string {
+	switch d {
+	case RemoteMemory:
+		return "remote-memory"
+	case LocalDisk:
+		return "local-disk"
+	default:
+		return "none"
+	}
+}
+
+// WorkloadConfig describes the synthetic basket workload (IBM-Quest-style).
+type WorkloadConfig struct {
+	Transactions       int
+	Items              int
+	Patterns           int
+	AvgTransactionSize float64
+	AvgPatternSize     float64
+	Seed               int64
+}
+
+// ClusterConfig describes the simulated cluster.
+type ClusterConfig struct {
+	AppNodes int
+	MemNodes int
+	// MemoryLimitBytes caps per-node candidate memory; 0 disables swapping.
+	MemoryLimitBytes int64
+	Policy           Policy
+	Device           SwapDevice
+	// MonitorInterval is the availability-broadcast period (paper: 3 s of
+	// virtual time).
+	MonitorInterval time.Duration
+	// DiskRPM selects the swap-disk profile for LocalDisk: 7200 (Seagate
+	// Barracuda) or 12000 (HITACHI DK3E1T).
+	DiskRPM int
+	// TotalHashLines across all application nodes (paper: 800,000).
+	TotalHashLines int
+	// WithdrawMemNodesAfter, when non-empty, withdraws that many
+	// memory-available nodes at the given virtual offsets (Fig. 5's
+	// experiment).
+	WithdrawMemNodesAfter []time.Duration
+}
+
+// Config is a complete run description.
+type Config struct {
+	Workload      WorkloadConfig
+	MinSupport    float64
+	MinConfidence float64 // rules below this confidence are not derived
+	Cluster       ClusterConfig
+	// MaxPasses caps the number of Apriori passes (0 = run to completion).
+	MaxPasses int
+}
+
+// DefaultConfig returns a configuration mirroring the paper's §5.1
+// evaluation at 1/20 scale: T10.I4 data over 5,000 items, minsup 0.1%,
+// 8 application nodes, 16 memory-available nodes.
+func DefaultConfig() Config {
+	return Config{
+		Workload: WorkloadConfig{
+			Transactions:       50_000,
+			Items:              5_000,
+			Patterns:           2_000,
+			AvgTransactionSize: 10,
+			AvgPatternSize:     4,
+			Seed:               1,
+		},
+		MinSupport:    0.001,
+		MinConfidence: 0.5,
+		Cluster: ClusterConfig{
+			AppNodes:        8,
+			MemNodes:        16,
+			Policy:          SimpleSwapping,
+			Device:          NoSwap,
+			MonitorInterval: 3 * time.Second,
+			DiskRPM:         7200,
+			TotalHashLines:  800_000,
+		},
+	}
+}
+
+func (c Config) toInternal() (core.Config, quest.Params, error) {
+	wp := quest.Params{
+		Transactions:   c.Workload.Transactions,
+		Items:          c.Workload.Items,
+		Patterns:       c.Workload.Patterns,
+		AvgTxnLen:      c.Workload.AvgTransactionSize,
+		AvgPatternLen:  c.Workload.AvgPatternSize,
+		Correlation:    0.5,
+		CorruptionMean: 0.5,
+		CorruptionDev:  0.1,
+		Seed:           c.Workload.Seed,
+	}
+	if err := wp.Validate(); err != nil {
+		return core.Config{}, wp, err
+	}
+	if c.MinSupport <= 0 || c.MinSupport > 1 {
+		return core.Config{}, wp, errors.New("repro: MinSupport must be in (0,1]")
+	}
+	cfg := core.Defaults()
+	cfg.AppNodes = c.Cluster.AppNodes
+	cfg.MemNodes = c.Cluster.MemNodes
+	cfg.MinSupport = c.MinSupport
+	cfg.MaxPasses = c.MaxPasses
+	if c.Cluster.TotalHashLines > 0 {
+		cfg.TotalLines = c.Cluster.TotalHashLines
+	}
+	cfg.LimitBytes = c.Cluster.MemoryLimitBytes
+	switch c.Cluster.Policy {
+	case RemoteUpdate:
+		cfg.Policy = memtable.RemoteUpdate
+	default:
+		cfg.Policy = memtable.SimpleSwap
+	}
+	switch c.Cluster.Device {
+	case RemoteMemory:
+		cfg.Backend = core.BackendRemote
+	case LocalDisk:
+		cfg.Backend = core.BackendDisk
+	default:
+		cfg.Backend = core.BackendNone
+		if cfg.LimitBytes > 0 {
+			return cfg, wp, errors.New("repro: MemoryLimitBytes set but Device is NoSwap")
+		}
+	}
+	if c.Cluster.MonitorInterval > 0 {
+		cfg.MonitorInterval = sim.Duration(c.Cluster.MonitorInterval)
+	}
+	switch c.Cluster.DiskRPM {
+	case 0, 7200:
+		cfg.DiskProfile = disk.Barracuda7200()
+	case 12000:
+		cfg.DiskProfile = disk.HitachiDK3E1T()
+	default:
+		return cfg, wp, fmt.Errorf("repro: no disk profile for %d rpm (use 7200 or 12000)", c.Cluster.DiskRPM)
+	}
+	for i, after := range c.Cluster.WithdrawMemNodesAfter {
+		cfg.Withdrawals = append(cfg.Withdrawals, core.Withdrawal{
+			At:   sim.Duration(after),
+			Node: i,
+		})
+	}
+	return cfg, wp, nil
+}
+
+// Run generates the workload, executes HPA on the simulated cluster, and
+// derives association rules from the resulting large itemsets.
+func Run(c Config) (*Result, error) {
+	cfg, wp, err := c.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	info, err := core.RunWorkload(cfg, wp)
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(info, c)
+}
+
+// RunTransactions executes HPA over caller-supplied transactions (each a
+// set of item ids) instead of a generated workload.
+func RunTransactions(c Config, transactions [][]int) (*Result, error) {
+	cfg, _, err := c.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	if len(transactions) == 0 {
+		return nil, errors.New("repro: no transactions")
+	}
+	txns := make([]itemset.Itemset, len(transactions))
+	for i, t := range transactions {
+		items := make([]itemset.Item, len(t))
+		for j, v := range t {
+			items[j] = itemset.Item(v)
+		}
+		txns[i] = itemset.New(items...)
+	}
+	info, err := core.Run(cfg, quest.Partition(txns, cfg.AppNodes))
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(info, c)
+}
+
+func buildResult(info *core.RunInfo, c Config) (*Result, error) {
+	res := info.Result
+	out := &Result{
+		MinCount:     res.MinCount,
+		Transactions: res.Transactions,
+		Pass2Time:    time.Duration(res.Pass2Time),
+		TotalTime:    time.Duration(res.TotalTime),
+		Messages:     res.Messages,
+		NetworkBytes: res.Bytes,
+	}
+	for _, ps := range res.Passes {
+		out.Passes = append(out.Passes, PassStats{K: ps.K, Candidates: ps.Candidates, Large: ps.Large})
+	}
+	for _, d := range res.PassTimes {
+		out.PassDurations = append(out.PassDurations, time.Duration(d))
+	}
+	for k := 1; k < len(res.Large); k++ {
+		for _, is := range res.Large[k] {
+			out.LargeItemsets = append(out.LargeItemsets, FrequentItemset{
+				Items:   toInts(is),
+				Support: res.Support[is.Key()],
+			})
+		}
+	}
+	for _, ns := range res.PerNode {
+		out.Pagefaults += ns.Pagefaults
+		out.Evictions += ns.Evictions
+		out.RemoteUpdates += ns.Updates
+		out.Migrations += ns.Migrations
+	}
+	out.MaxPagefaultsPerNode = res.MaxPagefaults
+
+	if c.MinConfidence > 0 {
+		rs, err := rules.Derive(res.ToAprioriResult(), c.MinConfidence)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			out.Rules = append(out.Rules, Rule{
+				Antecedent: toInts(r.Antecedent),
+				Consequent: toInts(r.Consequent),
+				Support:    r.Support,
+				Confidence: r.Confidence,
+				Lift:       r.Lift,
+			})
+		}
+	}
+	return out, nil
+}
+
+func toInts(is itemset.Itemset) []int {
+	out := make([]int, len(is))
+	for i, v := range is {
+		out[i] = int(v)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package repro
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workload.Transactions = 3_000
+	cfg.Workload.Items = 200
+	cfg.Workload.Patterns = 80
+	cfg.Workload.AvgTransactionSize = 8
+	cfg.MinSupport = 0.01
+	cfg.MinConfidence = 0.5
+	cfg.Cluster.AppNodes = 4
+	cfg.Cluster.MemNodes = 4
+	cfg.Cluster.TotalHashLines = 8_000
+	return cfg
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transactions != 3_000 {
+		t.Errorf("transactions = %d", res.Transactions)
+	}
+	if len(res.Passes) < 2 || res.Passes[0].K != 1 {
+		t.Fatalf("passes = %+v", res.Passes)
+	}
+	if len(res.LargeItemsets) == 0 {
+		t.Error("no large itemsets")
+	}
+	for _, f := range res.LargeItemsets {
+		if f.Support < res.MinCount {
+			t.Errorf("itemset %v below minCount: %d < %d", f.Items, f.Support, res.MinCount)
+		}
+		if !sort.IntsAreSorted(f.Items) {
+			t.Errorf("itemset %v not canonical", f.Items)
+		}
+	}
+	if res.TotalTime <= 0 || res.Pass2Time <= 0 {
+		t.Errorf("times: total=%v pass2=%v", res.TotalTime, res.Pass2Time)
+	}
+	if len(res.PassDurations) < 3 {
+		t.Errorf("pass durations: %v", res.PassDurations)
+	}
+	if res.Messages == 0 {
+		t.Error("no network messages accounted")
+	}
+}
+
+func TestRulesRespectConfidence(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MinConfidence = 0.8
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rules {
+		if r.Confidence < 0.8 {
+			t.Errorf("rule %v below threshold", r)
+		}
+	}
+	cfg.MinConfidence = 0
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rules) != 0 {
+		t.Error("MinConfidence=0 should skip rule derivation")
+	}
+}
+
+func TestSwapDevicesProduceIdenticalItemsets(t *testing.T) {
+	base := fastConfig()
+	baseline, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(res *Result) string {
+		var sb strings.Builder
+		for _, f := range res.LargeItemsets {
+			for _, it := range f.Items {
+				sb.WriteRune(rune(it))
+			}
+			sb.WriteString(":")
+			sb.WriteRune(rune(f.Support))
+			sb.WriteString(";")
+		}
+		return sb.String()
+	}
+	want := canon(baseline)
+
+	for _, variant := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"remote-simple", func(c *Config) {
+			c.Cluster.MemoryLimitBytes = 1000
+			c.Cluster.Device = RemoteMemory
+			c.Cluster.Policy = SimpleSwapping
+		}},
+		{"remote-update", func(c *Config) {
+			c.Cluster.MemoryLimitBytes = 1000
+			c.Cluster.Device = RemoteMemory
+			c.Cluster.Policy = RemoteUpdate
+		}},
+		{"disk-7200", func(c *Config) {
+			c.Cluster.MemoryLimitBytes = 1000
+			c.Cluster.Device = LocalDisk
+			c.Cluster.DiskRPM = 7200
+		}},
+		{"disk-12000", func(c *Config) {
+			c.Cluster.MemoryLimitBytes = 1000
+			c.Cluster.Device = LocalDisk
+			c.Cluster.DiskRPM = 12000
+		}},
+	} {
+		cfg := fastConfig()
+		variant.mut(&cfg)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		if canon(res) != want {
+			t.Errorf("%s: large itemsets differ from baseline", variant.name)
+		}
+		if res.Evictions == 0 {
+			t.Errorf("%s: limit caused no evictions", variant.name)
+		}
+	}
+}
+
+func TestRunTransactions(t *testing.T) {
+	cfg := fastConfig()
+	cfg.MinSupport = 0.4
+	txns := [][]int{
+		{1, 2, 3}, {1, 2}, {2, 3}, {1, 2, 4}, {5},
+	}
+	res, err := RunTransactions(cfg, txns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {1,2} appears in 3/5 = 60% ≥ 40%.
+	found := false
+	for _, f := range res.LargeOfSize(2) {
+		if len(f.Items) == 2 && f.Items[0] == 1 && f.Items[1] == 2 {
+			found = true
+			if f.Support != 3 {
+				t.Errorf("support({1,2}) = %d, want 3", f.Support)
+			}
+		}
+	}
+	if !found {
+		t.Error("{1,2} not found large")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MinSupport = 0 },
+		func(c *Config) { c.MinSupport = 2 },
+		func(c *Config) { c.Workload.Transactions = -1 },
+		func(c *Config) { c.Cluster.MemoryLimitBytes = 100; c.Cluster.Device = NoSwap },
+		func(c *Config) { c.Cluster.DiskRPM = 5400 },
+	}
+	for i, mut := range bad {
+		cfg := fastConfig()
+		mut(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := RunTransactions(fastConfig(), nil); err == nil {
+		t.Error("empty transactions accepted")
+	}
+}
+
+func TestWithdrawalsViaPublicAPI(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Cluster.MemoryLimitBytes = 800
+	cfg.Cluster.Device = RemoteMemory
+	cfg.Cluster.Policy = RemoteUpdate
+	cfg.Cluster.MonitorInterval = 200 * time.Millisecond
+	cfg.Cluster.WithdrawMemNodesAfter = []time.Duration{time.Second}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Error("withdrawal caused no migration")
+	}
+}
+
+func TestExperimentAPI(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 6 {
+		t.Fatalf("ids = %v", ids)
+	}
+	out, err := RunExperiment("table3", ExperimentOptions{Scale: 0.002})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "table3") || !strings.Contains(out, "node 8") {
+		t.Errorf("report:\n%s", out)
+	}
+	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPolicyAndDeviceStrings(t *testing.T) {
+	if SimpleSwapping.String() == "" || RemoteUpdate.String() == "" ||
+		NoSwap.String() == "" || RemoteMemory.String() == "" || LocalDisk.String() == "" {
+		t.Error("empty enum strings")
+	}
+}
+
+func TestPassTableRendering(t *testing.T) {
+	res, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.PassTable()
+	if !strings.Contains(out, "pass") || len(strings.Split(out, "\n")) < 3 {
+		t.Errorf("pass table:\n%s", out)
+	}
+}

@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// PassStats records one Apriori pass (the columns of the paper's Table 2).
+type PassStats struct {
+	K          int
+	Candidates int
+	Large      int
+}
+
+// FrequentItemset is a large itemset with its absolute support count.
+type FrequentItemset struct {
+	Items   []int
+	Support int
+}
+
+// Rule is a derived association rule.
+type Rule struct {
+	Antecedent []int
+	Consequent []int
+	Support    float64
+	Confidence float64
+	Lift       float64
+}
+
+// String renders the rule in "if A and B then C (90%)" spirit.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup %.3f%%, conf %.1f%%, lift %.2f)",
+		r.Antecedent, r.Consequent, 100*r.Support, 100*r.Confidence, r.Lift)
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Passes        []PassStats
+	LargeItemsets []FrequentItemset
+	Rules         []Rule
+
+	MinCount     int
+	Transactions int
+
+	// Pass2Time is the virtual execution time of pass 2 — the paper's
+	// headline metric. TotalTime covers the whole mining run, and
+	// PassDurations holds each pass's virtual time (index 0 unused).
+	Pass2Time     time.Duration
+	TotalTime     time.Duration
+	PassDurations []time.Duration
+
+	// Swapping counters aggregated across application nodes.
+	Pagefaults           uint64
+	Evictions            uint64
+	RemoteUpdates        uint64
+	Migrations           uint64
+	MaxPagefaultsPerNode uint64
+
+	// Network totals.
+	Messages     uint64
+	NetworkBytes uint64
+}
+
+// LargeOfSize returns the large itemsets with exactly k items.
+func (r *Result) LargeOfSize(k int) []FrequentItemset {
+	var out []FrequentItemset
+	for _, f := range r.LargeItemsets {
+		if len(f.Items) == k {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// PassTable renders the Table-2-style pass summary.
+func (r *Result) PassTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s  %-12s  %-12s\n", "pass", "candidates", "large")
+	for _, ps := range r.Passes {
+		fmt.Fprintf(&sb, "%-5d  %-12d  %-12d\n", ps.K, ps.Candidates, ps.Large)
+	}
+	return sb.String()
+}
+
+// TopRules returns up to n rules (they are already sorted by confidence).
+func (r *Result) TopRules(n int) []Rule {
+	if n > len(r.Rules) {
+		n = len(r.Rules)
+	}
+	return r.Rules[:n]
+}
