@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 )
 
@@ -24,9 +26,12 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	srv := rmtp.NewServer(*capacity)
 	srv.SetLogger(log.Printf)
-	if err := srv.Listen(*addr); err != nil {
+	if err := srv.ListenContext(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("lending %d MB of memory on %s", *capacity>>20, srv.Addr())
@@ -42,9 +47,7 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	<-ctx.Done()
 	log.Print("shutting down")
 	srv.Close()
 }

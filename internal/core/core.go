@@ -19,6 +19,7 @@ import (
 	"repro/internal/remotemem"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/stats"
 )
 
 // Backend selects the swap device used when a memory limit is set.
@@ -55,6 +56,15 @@ type Withdrawal struct {
 	Node int // index into the memory-available nodes (0-based)
 }
 
+// Crash silences one memory-available node at a virtual time: unlike a
+// Withdrawal (graceful — the node reports shortage and keeps serving while
+// lines migrate away), a crashed node goes network-silent with no warning,
+// exercising the heartbeat/timeout failure-detection path.
+type Crash struct {
+	At   sim.Duration
+	Node int // index into the memory-available nodes (0-based)
+}
+
 // Config is a complete run description.
 type Config struct {
 	AppNodes int
@@ -81,6 +91,25 @@ type Config struct {
 	StoreCapacity    int64 // spare bytes per memory-available node
 
 	Withdrawals []Withdrawal
+
+	// Crashes silences memory-available nodes mid-run (fail-stop failures).
+	Crashes []Crash
+	// Faults is an arbitrary network fault plan (drop/delay/partition rules
+	// and raw node crashes) installed on the simulated interconnect.
+	Faults simnet.FaultPlan
+
+	// Failure-detection knobs for the remote-memory clients. All zero keeps
+	// the seed's fail-stop behavior; see remotemem.Client for semantics.
+	DeadAfter    sim.Duration
+	FetchTimeout sim.Duration
+	FetchRetries int
+	RetryBackoff sim.Duration
+	RecoverCPU   sim.Duration
+	// DiskFallback chains a local swap disk behind the remote-memory pager,
+	// so store-outs that no live memory node can absorb degrade to disk
+	// instead of failing the run. Requires the remote backend and the
+	// SimpleSwap policy (a disk cannot apply one-way remote updates).
+	DiskFallback bool
 }
 
 // Defaults returns the paper's §5.1 configuration (minus workload scale):
@@ -140,6 +169,25 @@ func (c Config) Validate() error {
 			return errors.New("core: negative withdrawal time")
 		}
 	}
+	for _, cr := range c.Crashes {
+		if cr.Node < 0 || cr.Node >= c.MemNodes {
+			return fmt.Errorf("core: crash of unknown memory node %d", cr.Node)
+		}
+		if cr.At < 0 {
+			return errors.New("core: negative crash time")
+		}
+	}
+	if c.DiskFallback {
+		if c.Backend != BackendRemote || c.LimitBytes <= 0 {
+			return errors.New("core: disk fallback requires the remote backend with a memory limit")
+		}
+		if c.Policy == memtable.RemoteUpdate {
+			return errors.New("core: disk fallback requires the simple-swap policy")
+		}
+	}
+	if c.DeadAfter < 0 || c.FetchTimeout < 0 || c.FetchRetries < 0 || c.RetryBackoff < 0 || c.RecoverCPU < 0 {
+		return errors.New("core: negative fault-tolerance knob")
+	}
 	return c.Net.Validate()
 }
 
@@ -156,6 +204,9 @@ type RunInfo struct {
 	AvgDiskReadLatency sim.Duration
 	// MonitorReports is the total availability broadcast rounds.
 	MonitorReports uint64
+	// Resilience sums the fault-tolerance counters across clients, fallback
+	// pagers, and the network fault layer. All-zero on an undisturbed run.
+	Resilience stats.Resilience
 }
 
 // Run executes one configuration over the given per-node transaction
@@ -170,6 +221,17 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 	layout := cluster.Layout{AppNodes: cfg.AppNodes, MemNodes: cfg.MemNodes}
 	k := sim.NewKernel()
 	nw := simnet.New(k, cfg.Net, layout.Total())
+	plan := cfg.Faults
+	if len(cfg.Crashes) > 0 {
+		plan.Crashes = append([]simnet.Crash(nil), plan.Crashes...)
+		for _, cr := range cfg.Crashes {
+			plan.Crashes = append(plan.Crashes,
+				simnet.Crash{Node: layout.MemIDs()[cr.Node], At: sim.Time(cr.At)})
+		}
+	}
+	if err := nw.InstallFaults(plan); err != nil {
+		return nil, err
+	}
 	coord := cluster.NewCoordinator(nw, layout)
 
 	// One uniprocessor per node: every process on a node contends for it.
@@ -191,6 +253,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 	var monitors []*remotemem.Monitor
 	var clients []*remotemem.Client
 	var disks []*disk.Disk
+	var fallbacks []*memtable.FallbackPager
 
 	for _, id := range layout.MemIDs() {
 		st := remotemem.NewStore(nw, id, cfg.StoreCapacity, cfg.RemoteCosts)
@@ -212,12 +275,27 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 			env.Clients = clients
 			for i := 0; i < cfg.AppNodes; i++ {
 				cl := remotemem.NewClient(nw, layout, i)
+				cl.DeadAfter = cfg.DeadAfter
+				cl.FetchTimeout = cfg.FetchTimeout
+				cl.FetchRetries = cfg.FetchRetries
+				cl.RetryBackoff = cfg.RetryBackoff
+				cl.RecoverCPU = cfg.RecoverCPU
 				for _, st := range stores {
 					cl.Seed(st.Node(), st.FreeBytes())
 				}
 				k.Go(fmt.Sprintf("monclient-%d", i), cl.RunMonitor).BindCPU(cpus[i])
 				clients[i] = cl
 				env.Pagers[i] = cl
+				if cfg.DiskFallback {
+					d := disk.New(k, cfg.DiskProfile, int64(2000+i))
+					disks = append(disks, d)
+					fb := &memtable.FallbackPager{
+						Primary:   cl,
+						Secondary: disk.NewSwapPager(k, d, disk.PagerConfig{}),
+					}
+					fallbacks = append(fallbacks, fb)
+					env.Pagers[i] = fb
+				}
 			}
 		case BackendDisk:
 			for i := 0; i < cfg.AppNodes; i++ {
@@ -286,6 +364,13 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 	if len(disks) > 0 {
 		info.AvgDiskReadLatency = latSum / sim.Duration(len(disks))
 	}
+	for _, cl := range clients {
+		info.Resilience.Add(cl.Resilience())
+	}
+	for _, fb := range fallbacks {
+		info.Resilience.FallbackStores += fb.FallbackStores()
+	}
+	info.Resilience.DroppedMsgs += nw.Dropped()
 	return info, nil
 }
 

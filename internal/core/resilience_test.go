@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/memtable"
+	"repro/internal/quest"
+	"repro/internal/sim"
+)
+
+// faultTolerant returns a heavily-swapping remote-memory config with the
+// failure-detection knobs armed.
+func faultTolerant() Config {
+	cfg := smallConfig()
+	cfg.LimitBytes = 1200
+	cfg.Backend = BackendRemote
+	cfg.Policy = memtable.SimpleSwap
+	cfg.MonitorInterval = 200 * sim.Millisecond
+	// FetchTimeout must sit well above worst-case healthy fetch latency
+	// (queueing at a loaded store), or clean runs log spurious retries.
+	cfg.DeadAfter = 700 * sim.Millisecond
+	cfg.FetchTimeout = 250 * sim.Millisecond
+	cfg.FetchRetries = 2
+	cfg.RetryBackoff = 5 * sim.Millisecond
+	cfg.RecoverCPU = 5 * sim.Microsecond
+	cfg.DiskFallback = true
+	return cfg
+}
+
+// TestStoreCrashRecoveryPreservesResults is the acceptance scenario: a
+// memory-available store node crashes mid-run (well into pass 2's swapping)
+// and mining must still complete with exactly the sequential Apriori result,
+// with the degradation visible in the resilience counters.
+func TestStoreCrashRecoveryPreservesResults(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	want := sequential(t, txns, 0.02)
+
+	cfg := faultTolerant()
+	cfg.Crashes = []Crash{{At: 2 * sim.Second, Node: 0}}
+
+	info := mustRun(t, cfg, txns)
+	if ok, why := apriori.SameLarge(info.Result.ToAprioriResult(), want); !ok {
+		t.Fatalf("crash recovery corrupted results: %s", why)
+	}
+	res := info.Resilience
+	if res.Failovers == 0 {
+		t.Error("no store was declared dead")
+	}
+	if res.DroppedMsgs == 0 {
+		t.Error("fault layer dropped nothing despite a crashed node")
+	}
+	if res.LinesLost+res.Retries+res.DeadlineHits == 0 {
+		t.Errorf("no degraded-mode work recorded: %+v", res)
+	}
+	t.Logf("resilience: %s", res.String())
+}
+
+// TestCrashRecoveryMatchesUndisturbedRun compares the crash run against the
+// same configuration without the crash: identical frequent itemsets, and
+// the undisturbed run must not touch any resilience counter.
+func TestCrashRecoveryMatchesUndisturbedRun(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+
+	clean := mustRun(t, faultTolerant(), txns)
+	if clean.Resilience.Any() {
+		t.Errorf("undisturbed run counted faults: %+v", clean.Resilience)
+	}
+
+	cfg := faultTolerant()
+	cfg.Crashes = []Crash{{At: 2 * sim.Second, Node: 1}}
+	crashed := mustRun(t, cfg, txns)
+
+	if ok, why := apriori.SameLarge(
+		crashed.Result.ToAprioriResult(), clean.Result.ToAprioriResult()); !ok {
+		t.Fatalf("crash changed mining results: %s", why)
+	}
+	if crashed.Result.TotalTime < clean.Result.TotalTime {
+		t.Errorf("crashed run (%v) finished faster than clean run (%v)",
+			crashed.Result.TotalTime, clean.Result.TotalTime)
+	}
+}
+
+func TestValidateRejectsBadFaultConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Crashes = []Crash{{Node: 99}} },
+		func(c *Config) { c.Crashes = []Crash{{Node: 0, At: -1}} },
+		func(c *Config) { c.DiskFallback = true; c.Backend = BackendDisk },
+		func(c *Config) { c.DiskFallback = true; c.LimitBytes = 0 },
+		func(c *Config) {
+			c.DiskFallback = true
+			c.LimitBytes = 1200
+			c.Policy = memtable.RemoteUpdate
+		},
+		func(c *Config) { c.DeadAfter = -1 },
+		func(c *Config) { c.FetchTimeout = -1 },
+		func(c *Config) { c.FetchRetries = -1 },
+	}
+	for i, mut := range bad {
+		cfg := smallConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad fault config %d accepted", i)
+		}
+	}
+	if err := faultTolerant().Validate(); err != nil {
+		t.Errorf("good fault-tolerant config rejected: %v", err)
+	}
+}

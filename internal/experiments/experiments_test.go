@@ -315,3 +315,23 @@ func TestSpeedupMonotone(t *testing.T) {
 		prev = tv
 	}
 }
+
+func TestCrashRecoveryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run scenario")
+	}
+	rep, err := CrashRecovery(tiny)
+	if err != nil {
+		t.Fatal(err) // CrashRecovery itself verifies itemset equality
+	}
+	if rep.ID != "crash-recovery" || len(rep.Table.Rows) != 2 {
+		t.Fatalf("report: %s", rep)
+	}
+	crash := rep.Table.Rows[1]
+	if cell(t, crash, 2) == 0 {
+		t.Error("crash row reports zero failovers")
+	}
+	if cell(t, crash, 3)+cell(t, crash, 4) == 0 {
+		t.Error("crash row reports no recovered lines or retries")
+	}
+}

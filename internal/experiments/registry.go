@@ -30,6 +30,7 @@ func Registry() []Entry {
 		{"block-sweep", "Message block size ablation", BlockSizeSweep, false},
 		{"eviction-sweep", "Eviction policy ablation", EvictionSweep, false},
 		{"hash-skew", "Candidate-partitioning hash ablation", HashSkew, false},
+		{"crash-recovery", "Fail-stop store crash mid-pass-2", CrashRecovery, false},
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/remotemem"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/stats"
 )
 
 // CPUCosts are the per-operation compute charges, calibrated to the
@@ -150,6 +151,9 @@ type NodeStats struct {
 	PeakResidentBytes int64
 	Migrations        uint64
 	RelocatedLines    uint64
+	// Resilience carries the node's pager fault-tolerance counters
+	// (retries, failovers, recovered lines); all-zero on a fault-free run.
+	Resilience stats.Resilience
 }
 
 // Result is the outcome of a parallel mining run.

@@ -281,6 +281,7 @@ func (a *appNode) mine(p *sim.Proc) error {
 	if len(a.env.Clients) > a.id && a.env.Clients[a.id] != nil {
 		a.pd.res.PerNode[a.id].Migrations = a.env.Clients[a.id].Migrations()
 		a.pd.res.PerNode[a.id].RelocatedLines = a.env.Clients[a.id].RelocatedLines()
+		a.pd.res.PerNode[a.id].Resilience = a.env.Clients[a.id].Resilience()
 	}
 
 	if a.id == 0 {

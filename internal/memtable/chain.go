@@ -1,0 +1,48 @@
+package memtable
+
+import "repro/internal/sim"
+
+// FallbackPager chains two pagers into a degraded-mode tier: store-outs go
+// to Primary (remote memory) and divert to Secondary (disk) when Primary
+// refuses or fails. The Location convention routes later operations: the
+// Primary places lines at Node >= 0, the Secondary at Node < 0, so FetchIn
+// and Update dispatch on the location without extra bookkeeping.
+//
+// This is the recovery path from the paper's failure scenario: when a
+// memory-available node dies, its client keeps mining with disk-speed
+// swapping instead of hanging or corrupting counts.
+type FallbackPager struct {
+	Primary   Pager
+	Secondary Pager
+
+	fallbackStores uint64
+}
+
+// FallbackStores returns how many store-outs were diverted to Secondary.
+func (f *FallbackPager) FallbackStores() uint64 { return f.fallbackStores }
+
+// StoreOut tries Primary first and falls back to Secondary on error.
+func (f *FallbackPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error) {
+	loc, err := f.Primary.StoreOut(p, line, entries)
+	if err == nil {
+		return loc, nil
+	}
+	f.fallbackStores++
+	return f.Secondary.StoreOut(p, line, entries)
+}
+
+// FetchIn routes by the location's tier.
+func (f *FallbackPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error) {
+	if loc.Node >= 0 {
+		return f.Primary.FetchIn(p, line, loc)
+	}
+	return f.Secondary.FetchIn(p, line, loc)
+}
+
+// Update routes by the location's tier.
+func (f *FallbackPager) Update(p *sim.Proc, line int, loc Location, key string) error {
+	if loc.Node >= 0 {
+		return f.Primary.Update(p, line, loc, key)
+	}
+	return f.Secondary.Update(p, line, loc, key)
+}

@@ -1,0 +1,77 @@
+package memtable
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// chainPager records operations and can be made to refuse stores.
+type chainPager struct {
+	node    int // reported Location.Node
+	refuse  bool
+	stored  map[int][]Entry
+	fetches int
+}
+
+func newChainPager(node int) *chainPager {
+	return &chainPager{node: node, stored: make(map[int][]Entry)}
+}
+
+func (f *chainPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error) {
+	if f.refuse {
+		return Location{}, errors.New("refused")
+	}
+	f.stored[line] = entries
+	return Location{Node: f.node, Slot: line}, nil
+}
+
+func (f *chainPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error) {
+	e, ok := f.stored[line]
+	if !ok {
+		return nil, fmt.Errorf("line %d not stored here", line)
+	}
+	delete(f.stored, line)
+	f.fetches++
+	return e, nil
+}
+
+func (f *chainPager) Update(p *sim.Proc, line int, loc Location, key string) error {
+	return nil
+}
+
+func TestFallbackPagerRoutesByTier(t *testing.T) {
+	primary := newChainPager(2)    // remote tier: Node >= 0
+	secondary := newChainPager(-1) // disk tier: Node < 0
+	fb := &FallbackPager{Primary: primary, Secondary: secondary}
+	k := sim.NewKernel()
+	k.Go("app", func(p *sim.Proc) {
+		locA, err := fb.StoreOut(p, 1, []Entry{{Key: "a"}})
+		if err != nil || locA.Node != 2 {
+			t.Fatalf("primary store: %v %v", locA, err)
+		}
+		primary.refuse = true
+		locB, err := fb.StoreOut(p, 2, []Entry{{Key: "b"}})
+		if err != nil || locB.Node != -1 {
+			t.Fatalf("fallback store: %v %v", locB, err)
+		}
+		gotA, err := fb.FetchIn(p, 1, locA)
+		if err != nil || gotA[0].Key != "a" {
+			t.Fatalf("primary fetch: %v %v", gotA, err)
+		}
+		gotB, err := fb.FetchIn(p, 2, locB)
+		if err != nil || gotB[0].Key != "b" {
+			t.Fatalf("secondary fetch: %v %v", gotB, err)
+		}
+	})
+	k.Run()
+	if primary.fetches != 1 || secondary.fetches != 1 {
+		t.Errorf("fetch routing: primary %d secondary %d, want 1 each",
+			primary.fetches, secondary.fetches)
+	}
+	if fb.FallbackStores() != 1 {
+		t.Errorf("FallbackStores = %d, want 1", fb.FallbackStores())
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/memtable"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/stats"
 )
 
 // destState tracks the client's view of one memory-available node.
@@ -16,6 +17,7 @@ const (
 	destNormal destState = iota
 	destMigrating
 	destDrained
+	destDead // heartbeat silence or fetch timeouts: assumed crashed
 )
 
 // Client is the application-node side of the remote-memory mechanism. It
@@ -35,6 +37,15 @@ type Client struct {
 	bytesAt    map[int]int64 // store node -> our bytes there
 	destStates map[int]destState
 
+	// shadow retains the entries shipped at StoreOut while fault tolerance
+	// is enabled, so a line held by a store that dies can be rebuilt locally.
+	// Safe because the store copies on receipt and the table nils its slice:
+	// nothing else aliases the shipped array. Under SimpleSwap a swapped-out
+	// line is immutable; under RemoteUpdate the shadow mirrors every update
+	// the client issues. The shadow stands in for recomputing the lost
+	// candidates from the pass data, at RecoverCPU per entry.
+	shadow map[int][]memtable.Entry
+
 	// UnavailableThreshold: a report at or below this many free bytes marks
 	// the node unavailable and triggers migration of our lines away from it.
 	UnavailableThreshold int64
@@ -45,10 +56,36 @@ type Client struct {
 	// the node CPU when the monitor-client process is bound to one.
 	ReportCPU sim.Duration
 
+	// Fault-tolerance knobs. All zero disables fault tolerance and restores
+	// the original fail-stop behavior (block forever on a silent store).
+
+	// FetchTimeout bounds one fetch attempt's wait for a reply; the window
+	// doubles on each retry. Zero waits forever.
+	FetchTimeout sim.Duration
+	// FetchRetries is how many times a timed-out fetch is re-issued before
+	// the holder is declared dead.
+	FetchRetries int
+	// RetryBackoff is the pause before the first retry, doubling per retry.
+	RetryBackoff sim.Duration
+	// DeadAfter declares a store dead when its MemReports have been silent
+	// this long. Set it to at least twice the monitor interval, or healthy
+	// stores get spuriously declared dead between reports. Zero disables
+	// heartbeat failure detection.
+	DeadAfter sim.Duration
+	// RecoverCPU is compute charged per entry when rebuilding a lost line
+	// from its shadow (modeling local recomputation of the candidates).
+	RecoverCPU sim.Duration
+
+	// Logf, when set, receives diagnostics (dropped messages, declared-dead
+	// stores, recoveries).
+	Logf func(format string, args ...any)
+
 	stopped    bool
 	rrCursor   int    // rotates swap destinations among eligible stores
 	migrations uint64 // migration rounds initiated
 	relocated  uint64 // lines whose location changed via MigrateDone
+	fetchSeq   uint64 // request id generator for FetchReq.Seq
+	res        stats.Resilience
 }
 
 // NewClient creates a client for application node `node`.
@@ -62,6 +99,7 @@ func NewClient(nw *simnet.Network, layout cluster.Layout, node int) *Client {
 		lineBytes:            make(map[int]int64),
 		bytesAt:              make(map[int]int64),
 		destStates:           make(map[int]destState),
+		shadow:               make(map[int][]memtable.Entry),
 		UnavailableThreshold: 64 << 10,
 		ReportCPU:            50 * sim.Microsecond,
 	}
@@ -76,9 +114,10 @@ func (c *Client) AttachTable(t *memtable.Table) { c.table = t }
 
 // Seed installs an initial availability estimate for a store node, standing
 // in for the reports the long-running monitors had already broadcast before
-// the mining program started.
+// the mining program started. A seed is a capacity hint, not a heartbeat:
+// the DeadAfter clock starts at the store's first real report.
 func (c *Client) Seed(node int, freeBytes int64) {
-	c.avail.Report(0, node, freeBytes)
+	c.avail.Seed(node, freeBytes)
 }
 
 // Migrations returns how many migration rounds this client directed.
@@ -86,6 +125,61 @@ func (c *Client) Migrations() uint64 { return c.migrations }
 
 // RelocatedLines returns how many line relocations completed.
 func (c *Client) RelocatedLines() uint64 { return c.relocated }
+
+// Resilience returns the client's fault-tolerance counters.
+func (c *Client) Resilience() stats.Resilience { return c.res }
+
+// ftEnabled reports whether any fault-tolerance mechanism is armed (and with
+// it, whether shadows are retained).
+func (c *Client) ftEnabled() bool { return c.FetchTimeout > 0 || c.DeadAfter > 0 }
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// markDead records that a store is considered crashed: it is excluded from
+// destination choice and its lines are recovered from shadows on demand.
+func (c *Client) markDead(node int) {
+	if c.destStates[node] == destDead {
+		return
+	}
+	c.destStates[node] = destDead
+	c.res.Failovers++
+	c.logf("remotemem: node %d: declaring store %d dead", c.node, node)
+}
+
+// checkHeartbeats declares dead any store whose reports have gone silent
+// past DeadAfter. Called lazily from the pager and on every report, so
+// detection needs no extra timer process.
+//
+// Silence is measured against the freshest processed report, not the
+// caller's clock: when this client itself is starved of CPU (a long counting
+// burst) or reports queue behind bulk swap traffic, every store looks stale
+// by wall clock and a clock-based sweep would mass-declare death. A store is
+// declared dead only when its peers' reports kept flowing while its own
+// stopped — so detection needs at least one live peer; a crashed sole store
+// is caught by the fetch-timeout path instead.
+func (c *Client) checkHeartbeats() {
+	if c.DeadAfter <= 0 {
+		return
+	}
+	var ref sim.Time
+	for _, n := range c.avail.Known() {
+		if last, ok := c.avail.LastReport(n); ok && last > ref {
+			ref = last
+		}
+	}
+	for _, n := range c.avail.Known() {
+		if c.destStates[n] == destDead {
+			continue
+		}
+		if last, ok := c.avail.LastReport(n); ok && ref.Sub(last) > c.DeadAfter {
+			c.markDead(n)
+		}
+	}
+}
 
 // --- memtable.Pager implementation ---
 
@@ -95,6 +189,7 @@ func (c *Client) RelocatedLines() uint64 { return c.relocated }
 // would make all application nodes dogpile the same store between two
 // monitor rounds.
 func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
+	c.checkHeartbeats()
 	need := int64(len(entries)) * memtable.EntryMemBytes
 	known := c.avail.Known()
 	dest, ok := -1, false
@@ -128,40 +223,144 @@ func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memt
 	c.placed[line] = dest
 	c.lineBytes[line] = need
 	c.bytesAt[dest] += need
+	if c.ftEnabled() {
+		c.shadow[line] = entries
+	}
 	return memtable.Location{Node: dest}, nil
 }
 
 // FetchIn retrieves a line, blocking the calling process for the round trip
 // (the pagefault of §4.3). Requests may be transparently forwarded by a
 // store that migrated the line away; the reply still arrives here.
+//
+// With FetchTimeout set, a silent holder is retried with an exponentially
+// growing window and backoff; when all attempts time out — or the holder is
+// already known dead — the line is rebuilt from its shadow instead of
+// hanging the mining pass.
 func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
-	c.nw.Send(p, c.node, loc.Node, cluster.PortMem,
-		FetchReq{Owner: c.node, Line: line}, reqWireBytes)
+	c.checkHeartbeats()
 	inbox := c.nw.Inbox(c.node, cluster.PortMemReply)
-	for {
-		m := inbox.Recv(p)
-		reply, ok := m.Payload.(FetchReply)
-		if !ok {
-			panic(fmt.Sprintf("remotemem: node %d: unexpected reply %T", c.node, m.Payload))
-		}
-		if reply.Line != line {
-			// Stale reply from an abandoned fetch; with one fault in flight
-			// per node this does not happen, but drop defensively.
-			continue
-		}
-		if reply.Err != "" {
-			return nil, fmt.Errorf("remotemem: fetch of line %d: %s", line, reply.Err)
-		}
-		holder := c.placed[line]
-		c.bytesAt[holder] -= c.lineBytes[line]
-		delete(c.placed, line)
-		delete(c.lineBytes, line)
-		return reply.Entries, nil
+	attempts := 1
+	if c.FetchTimeout > 0 {
+		attempts += c.FetchRetries
 	}
+	firstSeq := c.fetchSeq + 1
+	target := loc.Node
+	for attempt := 0; attempt < attempts; attempt++ {
+		// The first attempt goes to the caller's location (a store that
+		// migrated the line away forwards the request); retries go straight
+		// to the latest known holder.
+		if attempt > 0 {
+			if holder, ok := c.placed[line]; ok {
+				target = holder
+			}
+		}
+		if c.destStates[target] == destDead {
+			return c.recoverLine(p, line, target)
+		}
+		if attempt > 0 {
+			c.res.Retries++
+			if c.RetryBackoff > 0 {
+				p.Sleep(c.RetryBackoff << (attempt - 1))
+			}
+		}
+		c.fetchSeq++
+		c.nw.Send(p, c.node, target, cluster.PortMem,
+			FetchReq{Owner: c.node, Line: line, Seq: c.fetchSeq}, reqWireBytes)
+		var deadline sim.Time
+		if c.FetchTimeout > 0 {
+			deadline = p.Now().Add(c.FetchTimeout << attempt)
+		}
+		for {
+			var m simnet.Message
+			if c.FetchTimeout > 0 {
+				remaining := deadline.Sub(p.Now())
+				if remaining <= 0 {
+					c.res.DeadlineHits++
+					break // next attempt
+				}
+				got := false
+				m, got = inbox.RecvTimeout(p, remaining)
+				if !got {
+					c.res.DeadlineHits++
+					break
+				}
+			} else {
+				m = inbox.Recv(p)
+			}
+			reply, ok := m.Payload.(FetchReply)
+			if !ok {
+				// A stray message must not kill the mining run.
+				c.logf("remotemem: node %d: dropping unexpected reply %T from node %d",
+					c.node, m.Payload, m.From)
+				continue
+			}
+			if reply.Line != line || reply.Seq < firstSeq {
+				// Stale reply from an abandoned earlier fetch (delayed, not
+				// lost); any attempt of this call is acceptable because the
+				// line's entries cannot change while it is swapped out.
+				continue
+			}
+			if reply.Err != "" {
+				if _, ok := c.shadow[line]; ok {
+					return c.recoverLine(p, line, target)
+				}
+				return nil, fmt.Errorf("remotemem: fetch of line %d: %s", line, reply.Err)
+			}
+			holder := c.placed[line]
+			c.bytesAt[holder] -= c.lineBytes[line]
+			delete(c.placed, line)
+			delete(c.lineBytes, line)
+			delete(c.shadow, line)
+			return reply.Entries, nil
+		}
+	}
+	// Every attempt timed out: the holder is unresponsive. Declare it dead
+	// so subsequent operations fail over immediately.
+	c.markDead(target)
+	if _, ok := c.shadow[line]; ok {
+		return c.recoverLine(p, line, target)
+	}
+	return nil, fmt.Errorf("remotemem: node %d: fetch of line %d from store %d timed out after %d attempts",
+		c.node, line, target, attempts)
 }
 
-// Update sends a one-way count increment for a pinned line (§4.4).
+// recoverLine rebuilds a line lost with a dead store from its shadow copy,
+// charging the modeled recomputation cost.
+func (c *Client) recoverLine(p *sim.Proc, line, holder int) ([]memtable.Entry, error) {
+	sh, ok := c.shadow[line]
+	if !ok {
+		return nil, fmt.Errorf("remotemem: node %d: line %d lost with dead store %d and no shadow retained",
+			c.node, line, holder)
+	}
+	if c.RecoverCPU > 0 {
+		p.Work(sim.Duration(len(sh)) * c.RecoverCPU)
+	}
+	c.res.LinesLost++
+	c.logf("remotemem: node %d: recovered line %d (%d entries) lost with store %d",
+		c.node, line, len(sh), holder)
+	c.bytesAt[c.placed[line]] -= c.lineBytes[line]
+	delete(c.placed, line)
+	delete(c.lineBytes, line)
+	delete(c.shadow, line)
+	return sh, nil
+}
+
+// Update sends a one-way count increment for a pinned line (§4.4). The
+// shadow, when retained, mirrors the increment so a later recovery carries
+// the same counts the remote copy had.
 func (c *Client) Update(p *sim.Proc, line int, loc memtable.Location, key string) error {
+	if sh, ok := c.shadow[line]; ok {
+		for i := range sh {
+			if sh[i].Key == key {
+				sh[i].Count++
+				break
+			}
+		}
+	}
+	if c.destStates[loc.Node] == destDead {
+		return nil // remote copy is gone; the shadow carries the count
+	}
 	c.nw.Send(p, c.node, loc.Node, cluster.PortMem,
 		UpdateMsg{Owner: c.node, Line: line, Key: key}, updateWireBytes)
 	return nil
@@ -185,12 +384,18 @@ func (c *Client) RunMonitor(p *sim.Proc) {
 		switch msg := m.Payload.(type) {
 		case MemReport:
 			p.Work(c.ReportCPU)
-			c.avail.Report(p.Now(), msg.Node, msg.FreeBytes)
+			// Stamp with the send time, not the processing time: a backlog
+			// drained after a long CPU burst must not make the first report
+			// out look 30s fresher than the one behind it in the queue.
+			c.avail.Report(m.SentAt, msg.Node, msg.FreeBytes)
+			c.checkHeartbeats()
 			c.handleReport(p, msg)
 		case MigrateDone:
 			c.handleMigrateDone(msg)
 		default:
-			panic(fmt.Sprintf("remotemem: node %d monitor: unexpected %T", c.node, m.Payload))
+			// A stray message must not kill the monitor client.
+			c.logf("remotemem: node %d monitor: dropping unexpected %T from node %d",
+				c.node, m.Payload, m.From)
 		}
 	}
 }
@@ -198,14 +403,16 @@ func (c *Client) RunMonitor(p *sim.Proc) {
 func (c *Client) handleReport(p *sim.Proc, msg MemReport) {
 	st := c.destStates[msg.Node]
 	if msg.FreeBytes > c.UnavailableThreshold {
-		if st == destDrained {
-			c.destStates[msg.Node] = destNormal // node recovered
+		if st == destDrained || st == destDead {
+			// Node recovered (drained stores regained memory; dead stores
+			// turned out to be partitioned, not crashed, and healed).
+			c.destStates[msg.Node] = destNormal
 		}
 		return
 	}
 	// Shortage detected.
 	if st != destNormal {
-		return // already migrating or drained
+		return // already migrating, drained, or dead
 	}
 	lines := c.linesAt(msg.Node)
 	if len(lines) == 0 {

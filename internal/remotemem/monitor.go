@@ -93,10 +93,25 @@ func (a *AvailTable) Report(at sim.Time, node int, freeBytes int64) {
 	a.lastReport[node] = at
 }
 
+// Seed primes availability without recording a liveness heartbeat: boot-time
+// capacity hints are not evidence the store's monitor is alive, and must not
+// start the DeadAfter clock before the first real report arrives.
+func (a *AvailTable) Seed(node int, freeBytes int64) {
+	a.free[node] = freeBytes
+	a.sinceReport[node] = 0
+}
+
 // Charge notes that the local node shipped bytes to the given store since
 // its last report (the client-side correction for report staleness).
 func (a *AvailTable) Charge(node int, bytes int64) {
 	a.sinceReport[node] += bytes
+}
+
+// LastReport returns when a node last reported, for heartbeat failure
+// detection; ok is false when the node never reported.
+func (a *AvailTable) LastReport(node int) (sim.Time, bool) {
+	t, ok := a.lastReport[node]
+	return t, ok
 }
 
 // Effective returns the usable availability estimate for one node.

@@ -35,15 +35,20 @@ type StoreMsg struct {
 	Entries []memtable.Entry
 }
 
-// FetchReq asks the store to return a line and release its copy.
+// FetchReq asks the store to return a line and release its copy. Seq is an
+// owner-chosen request identifier echoed in the reply; it lets a client that
+// re-issued a timed-out fetch discard a stale duplicate reply that was only
+// delayed, not lost.
 type FetchReq struct {
 	Owner int
 	Line  int
+	Seq   uint64
 }
 
 // FetchReply returns a line's entries to its owner.
 type FetchReply struct {
 	Line    int
+	Seq     uint64
 	Entries []memtable.Entry
 	// Err is a protocol-level failure description, empty on success.
 	Err string

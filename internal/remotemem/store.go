@@ -30,8 +30,11 @@ type Store struct {
 	lines   map[lineKey][]memtable.Entry
 	forward map[lineKey]int // after migration: where a line went
 
+	// Logf, when set, receives diagnostics about dropped messages.
+	Logf func(format string, args ...any)
+
 	// Stats.
-	stores, fetches, updates, migratedOut, forwarded uint64
+	stores, fetches, updates, migratedOut, forwarded, droppedMsgs uint64
 }
 
 // NewStore creates a store server on the given node with the given spare
@@ -72,6 +75,9 @@ func (s *Store) Stats() (stores, fetches, updates, migrated, forwarded uint64) {
 	return s.stores, s.fetches, s.updates, s.migratedOut, s.forwarded
 }
 
+// DroppedMessages returns how many unknown messages the store discarded.
+func (s *Store) DroppedMessages() uint64 { return s.droppedMsgs }
+
 // HeldLines returns how many lines the store currently holds.
 func (s *Store) HeldLines() int { return len(s.lines) }
 
@@ -109,7 +115,7 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 				return
 			}
 			s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
-				FetchReply{Line: req.Line, Err: fmt.Sprintf("line %d not held by node %d", req.Line, s.node)},
+				FetchReply{Line: req.Line, Seq: req.Seq, Err: fmt.Sprintf("line %d not held by node %d", req.Line, s.node)},
 				reqWireBytes)
 			return
 		}
@@ -117,7 +123,7 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		s.used -= int64(len(entries)) * memtable.EntryMemBytes
 		s.fetches++
 		s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
-			FetchReply{Line: req.Line, Entries: entries},
+			FetchReply{Line: req.Line, Seq: req.Seq, Entries: entries},
 			lineWireBytes(s.nw.Config().BlockSize, len(entries)))
 
 	case UpdateMsg:
@@ -195,6 +201,14 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		}
 
 	default:
-		panic(fmt.Sprintf("remotemem: store %d: unknown message %T", s.node, m.Payload))
+		// A stray message must not kill the server; drop it and keep serving.
+		s.droppedMsgs++
+		s.logf("remotemem: store %d: dropping unknown message %T from node %d", s.node, m.Payload, m.From)
+	}
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
 	}
 }

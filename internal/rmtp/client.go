@@ -5,39 +5,54 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// Options configure client-side robustness. The zero value reproduces the
+// original trusting behavior: no deadlines, no retries.
+type Options struct {
+	// Timeout bounds each operation's network I/O (dial, request write,
+	// reply read). Zero means wait forever.
+	Timeout time.Duration
+	// Retries is how many times idempotent operations (Fetch, Stat) are
+	// re-issued after a transport failure, transparently reconnecting in
+	// between. One-way and non-idempotent operations never retry.
+	Retries int
+	// Backoff is the pause before the first retry, doubling per retry.
+	Backoff time.Duration
+}
 
 // Client is a connection to one rmtp server. Methods are safe for
 // concurrent use; request/reply operations serialize on the connection.
+// After a transport error the connection is closed and transparently
+// re-established (with a fresh Hello) on the next operation.
 type Client struct {
 	mu    sync.Mutex
-	conn  net.Conn
+	addr  string
+	owner string
+	opts  Options
+	conn  net.Conn // nil when broken/closed
 	bw    *bufio.Writer
 	br    *bufio.Reader
-	owner string
 }
 
 // Dial connects to the server at addr and announces the owner name.
 func Dial(addr, owner string) (*Client, error) {
+	return DialOptions(addr, owner, Options{})
+}
+
+// DialOptions is Dial with explicit robustness options.
+func DialOptions(addr, owner string, opts Options) (*Client, error) {
 	if owner == "" {
 		return nil, fmt.Errorf("rmtp: owner name required")
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	if opts.Timeout < 0 || opts.Retries < 0 || opts.Backoff < 0 {
+		return nil, fmt.Errorf("rmtp: negative option")
 	}
-	c := &Client{
-		conn:  conn,
-		bw:    bufio.NewWriter(conn),
-		br:    bufio.NewReader(conn),
-		owner: owner,
-	}
-	if err := WriteFrame(c.bw, OpHello, 0, EncodeString(owner)); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
+	c := &Client{addr: addr, owner: owner, opts: opts}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -47,36 +62,149 @@ func Dial(addr, owner string) (*Client, error) {
 func (c *Client) Owner() string { return c.owner }
 
 // Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// connectLocked dials and performs the Hello handshake.
+func (c *Client) connectLocked() error {
+	d := net.Dialer{Timeout: c.opts.Timeout}
+	conn, err := d.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(conn)
+	if err := conn.SetDeadline(c.deadline()); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := WriteFrame(bw, OpHello, 0, EncodeString(c.owner)); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	c.conn = conn
+	c.bw = bw
+	c.br = bufio.NewReader(conn)
+	return nil
+}
+
+// deadline returns the absolute I/O deadline for one operation (zero time =
+// no deadline).
+func (c *Client) deadline() time.Time {
+	if c.opts.Timeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.opts.Timeout)
+}
+
+// ensureLocked reconnects if the connection is broken or was never made.
+func (c *Client) ensureLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	return c.connectLocked()
+}
+
+// failLocked discards a connection after a transport error so the next
+// operation starts from a clean stream.
+func (c *Client) failLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
 
 // send writes one frame (one-way).
 func (c *Client) send(op Op, line int32, payload []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.bw, op, line, payload); err != nil {
+	if err := c.ensureLocked(); err != nil {
 		return err
 	}
-	return c.bw.Flush()
+	if err := c.conn.SetDeadline(c.deadline()); err != nil {
+		c.failLocked()
+		return err
+	}
+	if err := WriteFrame(c.bw, op, line, payload); err != nil {
+		c.failLocked()
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.failLocked()
+		return err
+	}
+	return nil
 }
 
-// call writes one frame and reads the matching reply.
-func (c *Client) call(op Op, line int32, payload []byte) (Op, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// callLocked writes one frame and reads the matching reply. Any transport
+// error — including a reply for the wrong line, which means the stream is
+// desynchronized — closes the connection: a later operation reconnects
+// rather than reading a stale reply (silent corruption).
+func (c *Client) callLocked(op Op, line int32, payload []byte) (Op, []byte, error) {
+	if err := c.ensureLocked(); err != nil {
+		return 0, nil, err
+	}
+	if err := c.conn.SetDeadline(c.deadline()); err != nil {
+		c.failLocked()
+		return 0, nil, err
+	}
 	if err := WriteFrame(c.bw, op, line, payload); err != nil {
+		c.failLocked()
 		return 0, nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
+		c.failLocked()
 		return 0, nil, err
 	}
 	rop, rline, rpayload, err := ReadFrame(c.br)
 	if err != nil {
+		c.failLocked()
 		return 0, nil, err
 	}
 	if rline != line {
-		return 0, nil, fmt.Errorf("rmtp: reply for line %d, want %d", rline, line)
+		c.failLocked()
+		return 0, nil, fmt.Errorf("rmtp: reply for line %d, want %d (connection desynchronized, closed)", rline, line)
 	}
 	return rop, rpayload, nil
+}
+
+// call runs one request/reply exchange without retries.
+func (c *Client) call(op Op, line int32, payload []byte) (Op, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.callLocked(op, line, payload)
+}
+
+// callIdempotent retries a request/reply exchange on transport errors,
+// reconnecting between attempts with exponential backoff. Only safe for
+// operations whose duplicate execution is harmless.
+func (c *Client) callIdempotent(op Op, line int32, payload []byte) (Op, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var rop Op
+	var reply []byte
+	var err error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 && c.opts.Backoff > 0 {
+			time.Sleep(c.opts.Backoff << (attempt - 1))
+		}
+		rop, reply, err = c.callLocked(op, line, payload)
+		if err == nil {
+			return rop, reply, nil
+		}
+	}
+	return 0, nil, err
 }
 
 // Store ships a line's entries (one-way, pipelined).
@@ -84,9 +212,11 @@ func (c *Client) Store(line int32, entries []Entry) error {
 	return c.send(OpStore, line, EncodeEntries(entries))
 }
 
-// Fetch retrieves and releases a stored line.
+// Fetch retrieves and releases a stored line. Retries transparently on
+// transport failure: a duplicate fetch of an already-released line surfaces
+// as a "not held" error rather than wrong data.
 func (c *Client) Fetch(line int32) ([]Entry, error) {
-	op, payload, err := c.call(OpFetch, line, nil)
+	op, payload, err := c.callIdempotent(OpFetch, line, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +232,8 @@ func (c *Client) Update(line int32, key string) error {
 }
 
 // Migrate asks the server to push the listed lines to another server and
-// returns the lines actually moved.
+// returns the lines actually moved. Not retried: a partial migration is not
+// idempotent.
 func (c *Client) Migrate(dest string, lines []int32) ([]int32, error) {
 	payload := append(EncodeString(dest), EncodeLines(lines)...)
 	op, reply, err := c.call(OpMigrate, 0, payload)
@@ -116,9 +247,9 @@ func (c *Client) Migrate(dest string, lines []int32) ([]int32, error) {
 	return moved, err
 }
 
-// Stat queries the server's occupancy.
+// Stat queries the server's occupancy (idempotent, retried).
 func (c *Client) Stat() (Stat, error) {
-	op, payload, err := c.call(OpStat, 0, nil)
+	op, payload, err := c.callIdempotent(OpStat, 0, nil)
 	if err != nil {
 		return Stat{}, err
 	}

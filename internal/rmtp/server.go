@@ -1,6 +1,7 @@
 package rmtp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -30,6 +31,7 @@ type Server struct {
 	logf   func(string, ...any)
 	wg     sync.WaitGroup
 	closed bool
+	conns  map[net.Conn]struct{} // live sessions, closed on shutdown
 
 	stores, fetches, updates, migrated uint64
 }
@@ -42,6 +44,7 @@ func NewServer(capacity int64) *Server {
 		forward:  make(map[ownerLine]string),
 		capacity: capacity,
 		logf:     func(string, ...any) {},
+		conns:    make(map[net.Conn]struct{}),
 	}
 }
 
@@ -74,10 +77,34 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops accepting and waits for connection handlers to finish.
+// ListenContext is Listen with context-based cancellation: when ctx is
+// done, the server shuts down as if Close had been called.
+func (s *Server) ListenContext(ctx context.Context, addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	return nil
+}
+
+// Close stops accepting, terminates live sessions, and waits for connection
+// handlers to finish. Safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
+	// Closing live connections unblocks handlers parked in ReadFrame;
+	// without this, Close would wait forever on an idle session.
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	var err error
 	if s.ln != nil {
@@ -114,6 +141,14 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -121,7 +156,12 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	owner := ""
 	for {
 		op, line, payload, err := ReadFrame(conn)

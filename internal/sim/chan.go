@@ -14,8 +14,10 @@ type Chan[T any] struct {
 }
 
 type chanWaiter[T any] struct {
-	p   *Proc
-	val T
+	p         *Proc
+	val       T
+	delivered bool // a Push handed this waiter a value
+	timedOut  bool // the RecvTimeout deadline fired first
 }
 
 // NewChan creates an empty channel owned by kernel k.
@@ -42,6 +44,7 @@ func (c *Chan[T]) Push(v T) {
 		c.waiters[len(c.waiters)-1] = nil
 		c.waiters = c.waiters[:len(c.waiters)-1]
 		w.val = v
+		w.delivered = true
 		c.k.After(0, c.k.wakeEvent(w.p))
 		return
 	}
@@ -69,6 +72,42 @@ func (c *Chan[T]) Recv(p *Proc) T {
 	c.waiters = append(c.waiters, w)
 	p.yield()
 	return w.val
+}
+
+// RecvTimeout blocks p until a value is available or d elapses. ok reports
+// whether a value was received; on timeout the zero value is returned and the
+// process resumes at the deadline. A non-positive d degenerates to Recv.
+func (c *Chan[T]) RecvTimeout(p *Proc, d Duration) (v T, ok bool) {
+	if d <= 0 {
+		return c.Recv(p), true
+	}
+	p.Flush()
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		var zero T
+		c.buf[0] = zero
+		c.buf = c.buf[1:]
+		return v, true
+	}
+	w := &chanWaiter[T]{p: p}
+	c.waiters = append(c.waiters, w)
+	c.k.After(d, func() {
+		if w.delivered || w.timedOut {
+			return
+		}
+		w.timedOut = true
+		for i, q := range c.waiters {
+			if q == w {
+				copy(c.waiters[i:], c.waiters[i+1:])
+				c.waiters[len(c.waiters)-1] = nil
+				c.waiters = c.waiters[:len(c.waiters)-1]
+				break
+			}
+		}
+		c.k.activate(p)
+	})
+	p.yield()
+	return w.val, w.delivered
 }
 
 // TryRecv returns a buffered value without blocking; ok reports whether one

@@ -1,0 +1,179 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// LinkFault injects loss and extra delay on matching links. From and To
+// select a directed link; -1 is a wildcard matching any node. Every rule
+// that matches a message applies: the message is dropped if any matching
+// rule's Bernoulli draw fires, and the Delay fields of all matching rules
+// add to the propagation latency.
+type LinkFault struct {
+	From, To int // -1 matches any node
+	DropProb float64
+	Delay    sim.Duration
+}
+
+// Crash silences a node from time At onward: every message it sends or
+// that is addressed to it is dropped. The node's processes keep running
+// (a simulation cannot kill a goroutine), but they go network-silent,
+// which is exactly how a crashed peer looks from the outside.
+type Crash struct {
+	Node int
+	At   sim.Time
+}
+
+// Partition isolates the listed nodes from the rest of the cluster during
+// [At, Heal). A zero Heal never heals. Traffic within the group and within
+// the complement still flows.
+type Partition struct {
+	Nodes []int
+	At    sim.Time
+	Heal  sim.Time // zero = permanent
+}
+
+// FaultPlan is a deterministic, replayable failure scenario. The same plan
+// (including Seed) on the same workload yields bit-identical simulations,
+// because the kernel serialises all rng draws.
+type FaultPlan struct {
+	Seed       int64
+	Links      []LinkFault
+	Crashes    []Crash
+	Partitions []Partition
+}
+
+// Empty reports whether the plan injects nothing.
+func (fp FaultPlan) Empty() bool {
+	return len(fp.Links) == 0 && len(fp.Crashes) == 0 && len(fp.Partitions) == 0
+}
+
+// Validate reports the first invalid field for a network of n nodes.
+func (fp FaultPlan) Validate(n int) error {
+	for _, lf := range fp.Links {
+		if lf.From < -1 || lf.From >= n || lf.To < -1 || lf.To >= n {
+			return fmt.Errorf("simnet: link fault %d->%d outside cluster of %d", lf.From, lf.To, n)
+		}
+		if lf.DropProb < 0 || lf.DropProb > 1 {
+			return fmt.Errorf("simnet: drop probability %v outside [0,1]", lf.DropProb)
+		}
+		if lf.Delay < 0 {
+			return fmt.Errorf("simnet: negative link delay")
+		}
+	}
+	for _, c := range fp.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("simnet: crash of unknown node %d", c.Node)
+		}
+	}
+	for _, pt := range fp.Partitions {
+		if len(pt.Nodes) == 0 {
+			return fmt.Errorf("simnet: empty partition group")
+		}
+		for _, nd := range pt.Nodes {
+			if nd < 0 || nd >= n {
+				return fmt.Errorf("simnet: partition of unknown node %d", nd)
+			}
+		}
+		if pt.Heal != 0 && pt.Heal <= pt.At {
+			return fmt.Errorf("simnet: partition heals at %v before it starts at %v", pt.Heal, pt.At)
+		}
+	}
+	return nil
+}
+
+// faultState is the compiled, running form of a FaultPlan.
+type faultState struct {
+	plan    FaultPlan
+	rng     *rand.Rand
+	crashed []bool
+	inGroup []map[int]bool // per partition: membership set
+}
+
+// InstallFaults arms a fault plan on the network. Must be called before the
+// kernel runs (crash events are scheduled at their absolute times). Passing
+// an empty plan is a no-op; installing twice replaces the previous plan's
+// link/partition rules but cannot unschedule already-queued crashes, so
+// callers should install at most once per run.
+func (n *Network) InstallFaults(plan FaultPlan) error {
+	if err := plan.Validate(len(n.nodes)); err != nil {
+		return err
+	}
+	if plan.Empty() {
+		n.faults = nil
+		return nil
+	}
+	fs := &faultState{
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		crashed: make([]bool, len(n.nodes)),
+	}
+	for _, pt := range plan.Partitions {
+		set := make(map[int]bool, len(pt.Nodes))
+		for _, nd := range pt.Nodes {
+			set[nd] = true
+		}
+		fs.inGroup = append(fs.inGroup, set)
+	}
+	for _, c := range plan.Crashes {
+		node := c.Node
+		n.k.At(c.At, func() { fs.crashed[node] = true })
+	}
+	n.faults = fs
+	return nil
+}
+
+// Crashed reports whether a node has crashed under the installed plan.
+// Diagnostic only: protocol code must detect failure through silence, not
+// by peeking here.
+func (n *Network) Crashed(node int) bool {
+	return n.faults != nil && n.faults.crashed[node]
+}
+
+// Dropped returns the number of messages the fault layer discarded.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Delayed returns the number of messages given extra fault delay.
+func (n *Network) Delayed() uint64 { return n.delayed }
+
+// partitioned reports whether from->to crosses an active partition at time t.
+func (fs *faultState) partitioned(from, to int, t sim.Time) bool {
+	for i, pt := range fs.plan.Partitions {
+		if t < pt.At || (pt.Heal != 0 && t >= pt.Heal) {
+			continue
+		}
+		if fs.inGroup[i][from] != fs.inGroup[i][to] {
+			return true
+		}
+	}
+	return false
+}
+
+// outcome evaluates the fault rules for one message at send time. It returns
+// whether the message survives and any extra delay to add to propagation.
+// Must be called exactly once per message so rng draws stay deterministic.
+func (fs *faultState) outcome(from, to int, t sim.Time) (ok bool, extra sim.Duration) {
+	if fs.crashed[from] || fs.crashed[to] {
+		return false, 0
+	}
+	if from != to && fs.partitioned(from, to, t) {
+		return false, 0
+	}
+	ok = true
+	for _, lf := range fs.plan.Links {
+		if lf.From != -1 && lf.From != from {
+			continue
+		}
+		if lf.To != -1 && lf.To != to {
+			continue
+		}
+		if lf.DropProb > 0 && fs.rng.Float64() < lf.DropProb {
+			ok = false // keep evaluating: rng draw count must not depend on outcome
+		}
+		extra += lf.Delay
+	}
+	return ok, extra
+}

@@ -93,12 +93,15 @@ type nodeIface struct {
 
 // Network is a simulated cluster interconnect.
 type Network struct {
-	k     *sim.Kernel
-	cfg   Config
-	nodes []*nodeIface
+	k      *sim.Kernel
+	cfg    Config
+	nodes  []*nodeIface
+	faults *faultState
 
 	totalMsgs  uint64
 	totalBytes uint64
+	dropped    uint64
+	delayed    uint64
 }
 
 // New creates a network of n nodes on kernel k.
@@ -165,10 +168,27 @@ func (n *Network) Send(p *sim.Proc, from, to, port int, payload any, size int) {
 	src.txMsgs++
 	n.totalMsgs++
 	n.totalBytes += uint64(size)
-	n.k.After(n.cfg.Latency, func() { n.deliver(msg) })
+	lat := n.cfg.Latency
+	if n.faults != nil {
+		ok, extra := n.faults.outcome(from, to, msg.SentAt)
+		if !ok {
+			n.dropped++
+			return
+		}
+		if extra > 0 {
+			n.delayed++
+			lat += extra
+		}
+	}
+	n.k.After(lat, func() { n.deliver(msg) })
 }
 
 func (n *Network) deliver(msg Message) {
+	if n.faults != nil && n.faults.crashed[msg.To] {
+		// Receiver crashed while the message was in flight.
+		n.dropped++
+		return
+	}
 	nd := n.nodes[msg.To]
 	nd.rxMsgs++
 	ch, ok := nd.inboxes[msg.Port]

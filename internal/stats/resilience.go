@@ -1,0 +1,40 @@
+package stats
+
+import "fmt"
+
+// Resilience aggregates fault-tolerance counters from a run: how often the
+// system had to retry, fail over, or degrade to keep a mining pass correct.
+// All-zero means the run saw no faults (the common case).
+type Resilience struct {
+	Retries        uint64 // fetches re-issued after a timeout
+	DeadlineHits   uint64 // individual request attempts that timed out
+	Failovers      uint64 // stores declared dead by heartbeat silence
+	LinesLost      uint64 // remote lines recovered from local shadow copies
+	FallbackStores uint64 // store-outs diverted to the fallback pager tier
+	DroppedMsgs    uint64 // messages discarded by the network fault layer
+}
+
+// Add accumulates o into r.
+func (r *Resilience) Add(o Resilience) {
+	r.Retries += o.Retries
+	r.DeadlineHits += o.DeadlineHits
+	r.Failovers += o.Failovers
+	r.LinesLost += o.LinesLost
+	r.FallbackStores += o.FallbackStores
+	r.DroppedMsgs += o.DroppedMsgs
+}
+
+// Any reports whether any counter is nonzero.
+func (r Resilience) Any() bool {
+	return r.Retries != 0 || r.DeadlineHits != 0 || r.Failovers != 0 ||
+		r.LinesLost != 0 || r.FallbackStores != 0 || r.DroppedMsgs != 0
+}
+
+// String renders the counters compactly for run reports.
+func (r Resilience) String() string {
+	if !r.Any() {
+		return "no faults"
+	}
+	return fmt.Sprintf("retries=%d deadline=%d failovers=%d lost=%d fallback=%d dropped=%d",
+		r.Retries, r.DeadlineHits, r.Failovers, r.LinesLost, r.FallbackStores, r.DroppedMsgs)
+}
