@@ -37,14 +37,23 @@ type Client struct {
 	bytesAt    map[int]int64 // store node -> our bytes there
 	destStates map[int]destState
 
-	// shadow retains the entries shipped at StoreOut while fault tolerance
-	// is enabled, so a line held by a store that dies can be rebuilt locally.
-	// Safe because the store copies on receipt and the table nils its slice:
-	// nothing else aliases the shipped array. Under SimpleSwap a swapped-out
+	// shadow retains a private copy of the entries shipped at StoreOut while
+	// fault tolerance is enabled, so a line held by a store that dies can be
+	// rebuilt locally. It must be a copy: the in-flight StoreMsg references
+	// the shipped array until the store copies on receipt (one network
+	// latency later), and a RemoteUpdate mutating a shared shadow in that
+	// window would leak into the store's copy and then be applied again by
+	// the trailing UpdateMsg — double counts. Under SimpleSwap a swapped-out
 	// line is immutable; under RemoteUpdate the shadow mirrors every update
 	// the client issues. The shadow stands in for recomputing the lost
 	// candidates from the pass data, at RecoverCPU per entry.
 	shadow map[int][]memtable.Entry
+
+	// tainted marks lines whose remote copy went stale while their holder
+	// was presumed dead (updates were applied only to the shadow). A revived
+	// holder (a partition that healed) must never serve these: the shadow
+	// stays authoritative and the line is recovered locally on fetch.
+	tainted map[int]bool
 
 	// UnavailableThreshold: a report at or below this many free bytes marks
 	// the node unavailable and triggers migration of our lines away from it.
@@ -100,6 +109,7 @@ func NewClient(nw *simnet.Network, layout cluster.Layout, node int) *Client {
 		bytesAt:              make(map[int]int64),
 		destStates:           make(map[int]destState),
 		shadow:               make(map[int][]memtable.Entry),
+		tainted:              make(map[int]bool),
 		UnavailableThreshold: 64 << 10,
 		ReportCPU:            50 * sim.Microsecond,
 	}
@@ -224,7 +234,7 @@ func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memt
 	c.lineBytes[line] = need
 	c.bytesAt[dest] += need
 	if c.ftEnabled() {
-		c.shadow[line] = entries
+		c.shadow[line] = append([]memtable.Entry(nil), entries...)
 	}
 	return memtable.Location{Node: dest}, nil
 }
@@ -239,6 +249,11 @@ func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memt
 // hanging the mining pass.
 func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
 	c.checkHeartbeats()
+	if c.tainted[line] {
+		// The holder missed updates while presumed dead and has since been
+		// revived; its copy is stale. Only the shadow has the true counts.
+		return c.recoverLine(p, line, loc.Node)
+	}
 	inbox := c.nw.Inbox(c.node, cluster.PortMemReply)
 	attempts := 1
 	if c.FetchTimeout > 0 {
@@ -343,6 +358,7 @@ func (c *Client) recoverLine(p *sim.Proc, line, holder int) ([]memtable.Entry, e
 	delete(c.placed, line)
 	delete(c.lineBytes, line)
 	delete(c.shadow, line)
+	delete(c.tainted, line)
 	return sh, nil
 }
 
@@ -360,6 +376,9 @@ func (c *Client) Update(p *sim.Proc, line int, loc memtable.Location, key string
 	}
 	if c.destStates[loc.Node] == destDead {
 		return nil // remote copy is gone; the shadow carries the count
+	}
+	if c.tainted[line] {
+		return nil // remote copy already stale; the shadow is authoritative
 	}
 	c.nw.Send(p, c.node, loc.Node, cluster.PortMem,
 		UpdateMsg{Owner: c.node, Line: line, Key: key}, updateWireBytes)
@@ -406,6 +425,20 @@ func (c *Client) handleReport(p *sim.Proc, msg MemReport) {
 		if st == destDrained || st == destDead {
 			// Node recovered (drained stores regained memory; dead stores
 			// turned out to be partitioned, not crashed, and healed).
+			if st == destDead {
+				// While it was presumed dead, updates to lines held there
+				// were applied only to their shadows (Update skips a dead
+				// holder), so its copies are stale forever. Taint them: the
+				// shadow stays authoritative and the remote copy is never
+				// fetched. The store keeps serving *new* lines normally.
+				for _, line := range c.linesAt(msg.Node) {
+					if _, ok := c.shadow[line]; ok {
+						c.tainted[line] = true
+					}
+				}
+				c.logf("remotemem: node %d: store %d revived; keeping shadows authoritative for its lines",
+					c.node, msg.Node)
+			}
 			c.destStates[msg.Node] = destNormal
 		}
 		return

@@ -151,6 +151,104 @@ func TestShadowMirrorsUpdates(t *testing.T) {
 	}
 }
 
+// TestUpdateInFlightStoreDoesNotDoubleCount: an update issued while the
+// StoreMsg is still in flight (the store copies entries on receipt, one
+// network latency after send) must not leak into the store's copy through a
+// shadow that shares the shipped backing array — that would count the update
+// twice: once via the leaked mutation, once via the trailing UpdateMsg.
+func TestUpdateInFlightStoreDoesNotDoubleCount(t *testing.T) {
+	r := newRig(t, 1, 32<<20, sim.Second)
+	r.client.FetchTimeout = sim.Second // arm fault tolerance: shadows retained
+	r.k.Go("app", func(p *sim.Proc) {
+		defer r.stopAll()
+		loc, err := r.client.StoreOut(p, 6, entriesN(2, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No sleep: the StoreMsg has been sent but not yet delivered.
+		if err := r.client.Update(p, 6, loc, "e6-0"); err != nil {
+			t.Fatal(err)
+		}
+		p.Sleep(10 * sim.Millisecond)
+		got, err := r.client.FetchIn(p, 6, loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int32{}
+		for _, e := range got {
+			counts[e.Key] = e.Count
+		}
+		if counts["e6-0"] != 1 {
+			t.Errorf("count = %d, want 1 (shadow aliased the in-flight StoreMsg?)", counts["e6-0"])
+		}
+	})
+	r.k.Run()
+}
+
+// TestRevivedStoreKeepsShadowAuthoritative covers the partition-heal
+// scenario: a store is declared dead by the heartbeat sweep, updates issued
+// meanwhile reach only the shadow, and then the partition heals and the
+// store reports again. The revived store's copy is stale — the fetch must
+// return the shadow's counts, not the remote copy's.
+func TestRevivedStoreKeepsShadowAuthoritative(t *testing.T) {
+	r := newRig(t, 2, 32<<20, 100*sim.Millisecond)
+	m := r.layout.MemIDs()
+	r.client.DeadAfter = 250 * sim.Millisecond
+	if err := r.nw.InstallFaults(simnet.FaultPlan{
+		Partitions: []simnet.Partition{{
+			Nodes: []int{m[0]},
+			At:    sim.Time(150 * sim.Millisecond),
+			Heal:  sim.Time(800 * sim.Millisecond),
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.k.Go("app", func(p *sim.Proc) {
+		defer r.stopAll()
+		r.client.Seed(m[1], 0) // force placement on m[0]
+		loc, err := r.client.StoreOut(p, 7, entriesN(3, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loc.Node != m[0] {
+			t.Fatalf("line placed at %d, want %d", loc.Node, m[0])
+		}
+		// Lands remotely (before the partition): remote copy reads 1.
+		if err := r.client.Update(p, 7, loc, "e7-0"); err != nil {
+			t.Fatal(err)
+		}
+		// Past partition + DeadAfter: m[1]'s reports kept flowing while
+		// m[0] went silent, so the monitor client has declared m[0] dead.
+		p.Sleep(600 * sim.Millisecond)
+		// Skipped remotely (dead holder): only the shadow reads 2 now.
+		if err := r.client.Update(p, 7, loc, "e7-0"); err != nil {
+			t.Fatal(err)
+		}
+		// Past Heal plus a few monitor rounds: m[0] reported healthy again
+		// and was revived, with line 7 tainted.
+		p.Sleep(700 * sim.Millisecond)
+		got, err := r.client.FetchIn(p, 7, loc)
+		if err != nil {
+			t.Fatalf("fetch after heal: %v", err)
+		}
+		counts := map[string]int32{}
+		for _, e := range got {
+			counts[e.Key] = e.Count
+		}
+		if counts["e7-0"] != 2 {
+			t.Errorf("count = %d, want 2 (revived store served its stale copy?)", counts["e7-0"])
+		}
+	})
+	r.k.Run()
+	res := r.client.Resilience()
+	if res.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", res.Failovers)
+	}
+	if res.LinesLost != 1 {
+		t.Errorf("LinesLost = %d, want 1 (tainted line rebuilt from shadow)", res.LinesLost)
+	}
+}
+
 // TestMigrateCmdRacingFetch drives the store directly with a MigrateCmd and
 // a FetchReq for the same lines in both interleavings: a fetch that arrives
 // first is served and skipped by the migration; a fetch that arrives after

@@ -2,11 +2,16 @@ package rmtp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 )
+
+// ErrClosed is returned by every operation attempted after Close. A closed
+// client never reconnects.
+var ErrClosed = errors.New("rmtp: client closed")
 
 // Options configure client-side robustness. The zero value reproduces the
 // original trusting behavior: no deadlines, no retries.
@@ -27,13 +32,14 @@ type Options struct {
 // After a transport error the connection is closed and transparently
 // re-established (with a fresh Hello) on the next operation.
 type Client struct {
-	mu    sync.Mutex
-	addr  string
-	owner string
-	opts  Options
-	conn  net.Conn // nil when broken/closed
-	bw    *bufio.Writer
-	br    *bufio.Reader
+	mu     sync.Mutex
+	addr   string
+	owner  string
+	opts   Options
+	closed bool     // set by Close; ends retry loops and blocks reconnects
+	conn   net.Conn // nil when broken/closed
+	bw     *bufio.Writer
+	br     *bufio.Reader
 }
 
 // Dial connects to the server at addr and announces the owner name.
@@ -61,10 +67,13 @@ func DialOptions(addr, owner string, opts Options) (*Client, error) {
 // Owner returns the announced owner name.
 func (c *Client) Owner() string { return c.owner }
 
-// Close tears down the connection.
+// Close tears down the connection and marks the client closed: subsequent
+// operations fail with ErrClosed instead of transparently reconnecting, and
+// an in-progress retry loop stops at its next attempt.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
@@ -109,7 +118,11 @@ func (c *Client) deadline() time.Time {
 }
 
 // ensureLocked reconnects if the connection is broken or was never made.
+// A closed client stays closed.
 func (c *Client) ensureLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
 	if c.conn != nil {
 		return nil
 	}
@@ -188,23 +201,28 @@ func (c *Client) call(op Op, line int32, payload []byte) (Op, []byte, error) {
 
 // callIdempotent retries a request/reply exchange on transport errors,
 // reconnecting between attempts with exponential backoff. Only safe for
-// operations whose duplicate execution is harmless.
+// operations whose duplicate execution is harmless. The lock is held per
+// attempt, never across a backoff sleep, so concurrent operations and
+// Close proceed while a retry sequence waits; Close ends the sequence at
+// its next attempt (ErrClosed).
 func (c *Client) callIdempotent(op Op, line int32, payload []byte) (Op, []byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var rop Op
-	var reply []byte
-	var err error
+	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 && c.opts.Backoff > 0 {
 			time.Sleep(c.opts.Backoff << (attempt - 1))
 		}
-		rop, reply, err = c.callLocked(op, line, payload)
+		c.mu.Lock()
+		rop, reply, err := c.callLocked(op, line, payload)
+		c.mu.Unlock()
 		if err == nil {
 			return rop, reply, nil
 		}
+		lastErr = err
+		if errors.Is(err, ErrClosed) {
+			break
+		}
 	}
-	return 0, nil, err
+	return 0, nil, lastErr
 }
 
 // Store ships a line's entries (one-way, pipelined).
@@ -215,6 +233,13 @@ func (c *Client) Store(line int32, entries []Entry) error {
 // Fetch retrieves and releases a stored line. Retries transparently on
 // transport failure: a duplicate fetch of an already-released line surfaces
 // as a "not held" error rather than wrong data.
+//
+// Fetch is a destructive read. If the server executed the request but the
+// reply was lost (timeout mid-read), the server has already released the
+// line and the retry returns "not held": on this real-TCP path the entries
+// are gone — there is no shadow or disk fallback behind rmtp, unlike the
+// simulated pager. A caller that must survive a lost reply has to retain
+// its own copy until Fetch returns. See DESIGN.md §7, "Failure model".
 func (c *Client) Fetch(line int32) ([]Entry, error) {
 	op, payload, err := c.callIdempotent(OpFetch, line, nil)
 	if err != nil {

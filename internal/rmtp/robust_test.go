@@ -175,6 +175,81 @@ func TestDesyncClosesAndReconnects(t *testing.T) {
 	}
 }
 
+// TestCloseStaysClosed: after Close every operation fails with ErrClosed
+// instead of transparently reconnecting (resurrecting a closed client).
+func TestCloseStaysClosed(t *testing.T) {
+	srv := NewServer(0)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := Dial(srv.Addr(), "app0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stat(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Stat after Close = %v, want ErrClosed", err)
+	}
+	if err := cl.Store(1, []Entry{{Key: "a", Count: 1}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Store after Close = %v, want ErrClosed", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestCloseInterruptsRetryBackoff: the retry loop must not hold the client
+// lock across its backoff sleeps — Close during a retry sequence returns
+// promptly and the sequence ends with ErrClosed rather than running out its
+// remaining attempts.
+func TestCloseInterruptsRetryBackoff(t *testing.T) {
+	srv := newFakeServer(t, func(conn net.Conn, _ int) {
+		defer conn.Close()
+		for {
+			op, _, _, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if op == OpHello {
+				continue
+			}
+			return // kill every connection at its first real request
+		}
+	})
+	cl, err := DialOptions(srv.ln.Addr().String(), "app0",
+		Options{Timeout: time.Second, Retries: 10, Backoff: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cl.Stat()
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // first attempt fails into its backoff
+	start := time.Now()
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e > 200*time.Millisecond {
+		t.Errorf("Close blocked %v behind the retry backoff", e)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("retried call after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry loop kept running after Close")
+	}
+}
+
 // TestIdempotentRetryReconnects: the server drops the connection on the
 // first fetch; with retries configured the client reconnects and succeeds
 // without the caller noticing.
