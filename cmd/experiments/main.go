@@ -30,6 +30,8 @@ func main() {
 		all   = flag.Bool("all", false, "include ablation experiments, not just the paper's tables/figures")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
 		quiet = flag.Bool("q", false, "suppress progress output")
+		doTr  = flag.Bool("trace", false, "export Chrome trace JSON + CSV time series from trace-aware experiments")
+		trOut = flag.String("trace-out", "results", "directory for -trace output files")
 	)
 	flag.Parse()
 
@@ -47,6 +49,12 @@ func main() {
 	opt := experiments.Options{Scale: *scale, Seed: *seed}
 	if !*quiet {
 		opt.Out = os.Stderr
+	}
+	if *doTr {
+		if err := os.MkdirAll(*trOut, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		opt.TraceDir = *trOut
 	}
 
 	var entries []experiments.Entry

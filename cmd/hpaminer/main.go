@@ -36,6 +36,7 @@ func main() {
 		policy   = flag.String("policy", "simple", "swap policy: simple | update")
 		rpm      = flag.Int("rpm", 7200, "swap disk profile: 7200 | 12000")
 		topRules = flag.Int("rules", 10, "how many rules to print")
+		traceDir = flag.String("trace", "", "directory for a virtual-time trace of the run (Chrome JSON + CSV); empty disables tracing")
 	)
 	flag.Parse()
 
@@ -67,6 +68,7 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *policy)
 	}
+	cfg.TraceDir = *traceDir
 
 	start := time.Now()
 	var res *repro.Result

@@ -1,0 +1,132 @@
+// linkcheck verifies that relative links in the repository's markdown files
+// resolve to existing files, so documentation cannot rot silently. It walks
+// the given root (default ".") for *.md files, extracts inline links and
+// images, and fails with a nonzero exit listing every relative target that
+// does not exist.
+//
+// Absolute URLs (with a scheme), pure in-page anchors (#...), and mailto
+// links are skipped: the gate is for repo-internal references only.
+//
+// Usage:
+//
+//	linkcheck [root]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style definitions `[id]: target` are matched by
+// refRE. Neither regex attempts to skip fenced code blocks; stripFences
+// removes those lines first.
+var (
+	linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	refRE  = regexp.MustCompile(`(?m)^\[[^\]]+\]:\s+(\S+)`)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("linkcheck: ")
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "node_modules" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	broken := 0
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		text := stripFences(string(raw))
+		var targets []string
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			targets = append(targets, m[1])
+		}
+		for _, m := range refRE.FindAllStringSubmatch(text, -1) {
+			targets = append(targets, m[1])
+		}
+		for _, t := range targets {
+			if skippable(t) {
+				continue
+			}
+			// Drop an in-page fragment: FILE.md#section checks FILE.md.
+			if i := strings.IndexByte(t, '#'); i >= 0 {
+				t = t[:i]
+				if t == "" {
+					continue
+				}
+			}
+			dest := filepath.Join(filepath.Dir(f), filepath.FromSlash(t))
+			if _, err := os.Stat(dest); err != nil {
+				fmt.Printf("%s: broken link %q (%s)\n", f, t, dest)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		log.Fatalf("%d broken relative link(s) across %d markdown file(s)", broken, len(files))
+	}
+	fmt.Printf("linkcheck: %d markdown file(s) clean\n", len(files))
+}
+
+// skippable reports whether the target is not a repo-relative path.
+func skippable(t string) bool {
+	if strings.HasPrefix(t, "#") || strings.HasPrefix(t, "mailto:") {
+		return true
+	}
+	// A scheme (http:, https:, ftp:, ...) means external.
+	if i := strings.Index(t, "://"); i > 0 {
+		return true
+	}
+	return false
+}
+
+// stripFences blanks out fenced code blocks (``` ... ```) so example
+// snippets containing link-like syntax are not checked.
+func stripFences(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			out.WriteString("\n")
+			continue
+		}
+		if inFence {
+			out.WriteString("\n")
+			continue
+		}
+		out.WriteString(line)
+		out.WriteString("\n")
+	}
+	return out.String()
+}

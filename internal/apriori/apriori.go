@@ -1,7 +1,3 @@
-// Package apriori implements the sequential Apriori algorithm of Agrawal &
-// Srikant, the algorithm that HPA parallelizes. Two counting backends are
-// provided — the classic hash tree and a flat hash table — plus a brute-force
-// reference counter used to cross-check both in tests.
 package apriori
 
 import (

@@ -1,0 +1,22 @@
+// Package apriori implements the sequential Apriori algorithm of Agrawal &
+// Srikant, the algorithm HPA parallelizes (paper §2.1). It is the
+// correctness oracle for the whole repository: every parallel, swapped, or
+// out-of-core run is required to produce exactly the large itemsets this
+// package finds.
+//
+// Key pieces:
+//
+//   - Mine(txns, Config): runs the pass structure — count 1-itemsets,
+//     generate candidates with the join/prune step, count, repeat — and
+//     returns a Result with per-pass large itemsets and supports.
+//   - Config: minimum support, optional pass cap, and the counting backend
+//     selector. Two backends are provided — the classic hash tree
+//     (internal/htree) and a flat hash table — plus a brute-force reference
+//     counter used to cross-check both in tests.
+//   - MinCount(minSupport, n): the absolute-count threshold the fraction
+//     translates to, shared with the parallel implementations so both
+//     sides round identically.
+//   - SameLarge(a, b): structural equality of two results' large-itemset
+//     families, reporting the first difference — the assertion at the heart
+//     of the cross-implementation tests.
+package apriori

@@ -20,6 +20,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Backend selects the swap device used when a memory limit is set.
@@ -110,6 +111,13 @@ type Config struct {
 	// instead of failing the run. Requires the remote backend and the
 	// SimpleSwap policy (a disk cannot apply one-way remote updates).
 	DiskFallback bool
+
+	// Trace, when non-nil, is threaded through every layer of the run:
+	// events from the network, tables, stores, clients, and disks; per-node
+	// gauges sampled by a dedicated tracer process each MonitorInterval; and
+	// pass spans from the application nodes. Nil (the default) disables all
+	// tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 // Defaults returns the paper's §5.1 configuration (minus workload scale):
@@ -221,6 +229,16 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 	layout := cluster.Layout{AppNodes: cfg.AppNodes, MemNodes: cfg.MemNodes}
 	k := sim.NewKernel()
 	nw := simnet.New(k, cfg.Net, layout.Total())
+	if cfg.Trace != nil {
+		nw.SetRecorder(cfg.Trace)
+		if cfg.Trace.Wants(trace.KSpawn) {
+			rec := cfg.Trace
+			k.OnSpawn = func(name string, at sim.Time) {
+				rec.Emit(trace.Event{At: at, Node: -1, Kind: trace.KSpawn,
+					Name: name, Line: -1, Peer: -1})
+			}
+		}
+	}
 	plan := cfg.Faults
 	if len(cfg.Crashes) > 0 {
 		plan.Crashes = append([]simnet.Crash(nil), plan.Crashes...)
@@ -247,6 +265,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 		Coord:  coord,
 		Txns:   parts,
 		CPUs:   cpus,
+		Rec:    cfg.Trace,
 	}
 
 	var stores []*remotemem.Store
@@ -257,14 +276,22 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 
 	for _, id := range layout.MemIDs() {
 		st := remotemem.NewStore(nw, id, cfg.StoreCapacity, cfg.RemoteCosts)
+		st.Rec = cfg.Trace
 		stores = append(stores, st)
 		k.Go(fmt.Sprintf("store-%d", id), st.Run).BindCPU(cpus[id])
 		mon := remotemem.NewMonitor(nw, layout, st, cfg.MonitorInterval)
 		if cfg.MonitorSampleCPU > 0 {
 			mon.SampleCPU = cfg.MonitorSampleCPU
 		}
+		mon.Rec = cfg.Trace
 		monitors = append(monitors, mon)
 		k.Go(fmt.Sprintf("monitor-%d", id), mon.Run).BindCPU(cpus[id])
+		cfg.Trace.RegisterProbe(id, "store_used_bytes", func() float64 {
+			return float64(st.UsedBytes())
+		})
+		cfg.Trace.RegisterProbe(id, "held_lines", func() float64 {
+			return float64(st.HeldLines())
+		})
 	}
 
 	if cfg.LimitBytes > 0 {
@@ -280,6 +307,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 				cl.FetchRetries = cfg.FetchRetries
 				cl.RetryBackoff = cfg.RetryBackoff
 				cl.RecoverCPU = cfg.RecoverCPU
+				cl.Rec = cfg.Trace
 				for _, st := range stores {
 					cl.Seed(st.Node(), st.FreeBytes())
 				}
@@ -288,6 +316,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 				env.Pagers[i] = cl
 				if cfg.DiskFallback {
 					d := disk.New(k, cfg.DiskProfile, int64(2000+i))
+					d.Rec, d.Node = cfg.Trace, i
 					disks = append(disks, d)
 					fb := &memtable.FallbackPager{
 						Primary:   cl,
@@ -300,6 +329,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 		case BackendDisk:
 			for i := 0; i < cfg.AppNodes; i++ {
 				d := disk.New(k, cfg.DiskProfile, int64(1000+i))
+				d.Rec, d.Node = cfg.Trace, i
 				disks = append(disks, d)
 				env.Pagers[i] = disk.NewSwapPager(k, d, disk.PagerConfig{})
 			}
@@ -321,6 +351,30 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 		MaxPasses:  cfg.MaxPasses,
 		Costs:      cfg.Costs,
 	}
+	// The tracer process samples every registered gauge probe at the monitor
+	// cadence, stamping each point with virtual time. It is an observer: it
+	// charges no CPU and does not contend with the modeled processes.
+	var tracerStop bool
+	if cfg.Trace != nil {
+		for node := 0; node < layout.Total(); node++ {
+			cfg.Trace.RegisterProbe(node, "nic_queue", func() float64 {
+				return float64(nw.TxQueueLen(node))
+			})
+		}
+		interval := cfg.MonitorInterval
+		if interval <= 0 {
+			interval = sim.Second
+		}
+		rec := cfg.Trace
+		k.Go("tracer", func(p *sim.Proc) {
+			rec.SampleProbes(p.Now()) // t=0 baseline
+			for !tracerStop {
+				p.Sleep(interval)
+				rec.SampleProbes(p.Now())
+			}
+		})
+	}
+
 	pending, err := hpa.Start(env, params)
 	if err != nil {
 		return nil, err
@@ -332,6 +386,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 		for _, cl := range clients {
 			cl.Stop()
 		}
+		tracerStop = true
 	}
 	k.Run()
 	// Unwind processes still parked on channels/resources; their goroutines

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/memtable"
+	"repro/internal/quest"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tracedConfig exercises every event source at once: swapping under a tight
+// limit, remote updates, monitoring, and a mid-run withdrawal (migration).
+func tracedConfig() Config {
+	cfg := smallConfig()
+	cfg.LimitBytes = 1200
+	cfg.Backend = BackendRemote
+	cfg.Policy = memtable.RemoteUpdate
+	cfg.MonitorInterval = 200 * sim.Millisecond
+	cfg.Withdrawals = []Withdrawal{{At: 2 * sim.Second, Node: 0}}
+	return cfg
+}
+
+// TestTraceGoldenDeterminism is the DES-determinism guard: two identically
+// seeded runs must emit byte-identical event streams, including the
+// high-frequency per-message kinds the experiments normally mask. Any
+// map-iteration or scheduling nondeterminism anywhere in the stack shows up
+// here as a diff.
+func TestTraceGoldenDeterminism(t *testing.T) {
+	record := func() []byte {
+		txns := quest.Generate(smallWorkload())
+		cfg := tracedConfig()
+		rec := trace.NewRecorder() // full mask: all kinds recorded
+		cfg.Trace = rec
+		mustRun(t, cfg, txns)
+		if rec.Len() == 0 {
+			t.Fatal("traced run recorded nothing")
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := record(), record()
+	if !bytes.Equal(a, b) {
+		la := strings.Split(string(a), "\n")
+		lb := strings.Split(string(b), "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("trace diverges at line %d:\n run1: %s\n run2: %s",
+					i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("traces differ in length: %d vs %d lines", len(la), len(lb))
+	}
+}
+
+// TestTraceCoversAllSubsystems checks the recorded stream contains every
+// event family the run should have produced.
+func TestTraceCoversAllSubsystems(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+	cfg := tracedConfig()
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	mustRun(t, cfg, txns)
+
+	kinds := map[trace.Kind]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+	}
+	for _, want := range []trace.Kind{
+		trace.KSpan, trace.KSpawn, trace.KEviction, trace.KUpdate,
+		trace.KStoreService, trace.KUpdateApply, trace.KMigrateCmd,
+		trace.KMigrateBatch, trace.KMigrateDone, trace.KReport, trace.KSend,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %s events recorded", want)
+		}
+	}
+	series := map[string]bool{}
+	for _, s := range rec.Samples() {
+		series[s.Series] = true
+	}
+	for _, want := range []string{
+		"resident_bytes", "out_lines", "free_bytes",
+		"store_used_bytes", "held_lines", "nic_queue",
+	} {
+		if !series[want] {
+			t.Errorf("no %q gauge samples recorded", want)
+		}
+	}
+}
+
+// TestTracingDoesNotPerturbVirtualTime: attaching a recorder must not change
+// the simulation — same mining result, same virtual-time durations.
+func TestTracingDoesNotPerturbVirtualTime(t *testing.T) {
+	txns := quest.Generate(smallWorkload())
+
+	plain := mustRun(t, tracedConfig(), txns)
+
+	cfg := tracedConfig()
+	cfg.Trace = trace.NewRecorder()
+	traced := mustRun(t, cfg, txns)
+
+	if plain.Result.TotalTime != traced.Result.TotalTime {
+		t.Errorf("tracing changed virtual time: %v vs %v",
+			plain.Result.TotalTime, traced.Result.TotalTime)
+	}
+	if plain.Result.Pass2Time != traced.Result.Pass2Time {
+		t.Errorf("tracing changed pass-2 time: %v vs %v",
+			plain.Result.Pass2Time, traced.Result.Pass2Time)
+	}
+}

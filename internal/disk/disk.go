@@ -1,13 +1,3 @@
-// Package disk models the mechanical disks the paper swaps against: a
-// capacity-1 arm resource with distance-dependent seek, rotational latency,
-// and media transfer time. Profiles for the two drives cited in §5.2 are
-// provided (Seagate Barracuda 7,200 rpm; HITACHI DK3E1T 12,000 rpm).
-//
-// The model matches the paper's reasoning: a full-stroke random read costs
-// "at least 13.0 ms in average" on the Barracuda (8.8 ms seek + 4.2 ms
-// rotation), but a swap extent is compact — tens of cylinders — so faults
-// against it are short-stroked and substantially cheaper, which is what the
-// paper's Figure 4 disk curve exhibits.
 package disk
 
 import (
@@ -16,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Profile describes one disk model.
@@ -115,6 +106,11 @@ type Disk struct {
 	writeBytes        uint64
 	totalReadLatency  sim.Duration
 	totalWriteLatency sim.Duration
+
+	// Rec, when non-nil, receives a KDiskRead/KDiskWrite event per access
+	// (duration = queueing + seek + rotation + transfer), attributed to Node.
+	Rec  *trace.Recorder
+	Node int
 }
 
 // New creates a disk on kernel k. The seed drives rotational-phase sampling.
@@ -154,14 +150,22 @@ func (d *Disk) access(p *sim.Proc, cyl int, bytes int, write bool) sim.Duration 
 	d.pos = cyl
 	d.arm.Release(p)
 	elapsed := p.Now().Sub(start)
+	kind := trace.KDiskRead
 	if write {
 		d.writes++
 		d.writeBytes += uint64(bytes)
 		d.totalWriteLatency += elapsed
+		kind = trace.KDiskWrite
 	} else {
 		d.reads++
 		d.readBytes += uint64(bytes)
 		d.totalReadLatency += elapsed
+	}
+	if d.Rec.Wants(kind) {
+		d.Rec.Emit(trace.Event{
+			At: start, Dur: elapsed, Node: d.Node, Kind: kind,
+			Line: -1, Peer: -1, Bytes: int64(bytes),
+		})
 	}
 	return elapsed
 }

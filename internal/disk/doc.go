@@ -1,0 +1,23 @@
+// Package disk models the mechanical disks the paper swaps against: a
+// capacity-1 arm resource with distance-dependent seek, rotational latency,
+// and media transfer time. Profiles for the two drives cited in §5.2 are
+// provided (Seagate Barracuda 7,200 rpm; HITACHI DK3E1T 12,000 rpm).
+//
+// The model matches the paper's reasoning: a full-stroke random read costs
+// "at least 13.0 ms in average" on the Barracuda (8.8 ms seek + 4.2 ms
+// rotation), but a swap extent is compact — tens of cylinders — so faults
+// against it are short-stroked and substantially cheaper, which is what the
+// paper's Figure 4 disk curve exhibits.
+//
+// Key types:
+//
+//   - Profile: the drive geometry and timing parameters; Barracuda7200 and
+//     HitachiDK3E1T construct the paper's two drives.
+//   - Disk: the simulated device. Reads and writes serialize on the arm
+//     resource and charge seek + rotation + transfer in virtual time; with
+//     a trace recorder attached each access emits a disk-read/disk-write
+//     event with its duration and byte count.
+//   - SwapPager: a memtable.Pager backed by a Disk, implementing the
+//     paper's local-disk swap baseline; it lays hash lines out in a compact
+//     extent so the short-stroke effect appears naturally.
+package disk

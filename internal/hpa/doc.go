@@ -1,0 +1,33 @@
+// Package hpa implements Hash Partitioned Apriori (Shintani & Kitsuregawa),
+// the parallel mining algorithm of the paper's §2.2: candidate itemsets are
+// partitioned across processors by a hash function; during counting every
+// node enumerates the k-subsets of its local transactions and ships each to
+// the owning processor, which probes its candidate hash table and
+// increments matches. Each node runs two processes — a sender scanning the
+// local transaction file and a receiver owning the hash table — exactly as
+// the pilot-system implementation did (§3.3).
+//
+// The receiver's hash table is a memtable.Table, so pass 2 runs under a
+// memory-usage limit with whichever pager (remote memory or disk) the
+// environment supplies.
+//
+// Key types:
+//
+//   - Env: everything a run needs — kernel, network, cluster layout,
+//     per-node transactions, CPU cost model, pager factory, and the
+//     optional trace recorder. Start launches all node processes.
+//   - Params: algorithm knobs (min support, max passes, hash kind).
+//   - CPUCosts: per-operation virtual CPU charges, calibrated so the
+//     unlimited run reproduces the paper's pass-2 time scale.
+//   - HashKind: the candidate-partitioning hash (the paper's modulo hash
+//     plus alternatives for the skew ablation).
+//   - Result and NodeStats: per-pass candidate/large counts, pass times,
+//     and per-node pagefault/eviction/update/migration totals, convertible
+//     to an apriori.Result for cross-checking against sequential mining.
+//   - Pending: completion tracking; OnAllDone fires when every node has
+//     finished, letting the harness stop monitors and tracers.
+//
+// With tracing enabled each node emits one span event per pass (named
+// "pass-k"), and registers resident_bytes / out_lines gauge probes on its
+// table so the tracer can sample occupancy over virtual time.
+package hpa

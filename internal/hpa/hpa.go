@@ -1,15 +1,3 @@
-// Package hpa implements Hash Partitioned Apriori (Shintani & Kitsuregawa)
-// on the simulated cluster, the parallel mining algorithm of §2.2:
-// candidate itemsets are partitioned across processors by a hash function;
-// during counting every node enumerates the k-subsets of its local
-// transactions and ships each to the owning processor, which probes its
-// candidate hash table and increments matches. Each node runs two processes
-// — a sender scanning the local transaction file and a receiver owning the
-// hash table — exactly as the pilot-system implementation did (§3.3).
-//
-// The receiver's hash table is a memtable.Table, so pass 2 runs under a
-// memory-usage limit with whichever pager (remote memory or disk) the
-// environment supplies.
 package hpa
 
 import (
@@ -24,6 +12,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // CPUCosts are the per-operation compute charges, calibrated to the
@@ -139,6 +128,10 @@ type Env struct {
 	// the uniprocessor Pentium Pro nodes. Nil entries leave compute
 	// uncontended.
 	CPUs []*sim.Resource
+	// Rec, when non-nil, receives per-pass KSpan events and has per-node
+	// table gauges (resident_bytes, out_lines) registered against it each
+	// time a pass builds a fresh candidate table.
+	Rec *trace.Recorder
 }
 
 // NodeStats captures one application node's counters for a run.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/memtable"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Wire formats for the counting phase.
@@ -147,6 +148,7 @@ func (a *appNode) mine(p *sim.Proc) error {
 	if a.id == 0 {
 		res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
 	}
+	a.emitPassSpan(p, 1, passStart)
 
 	// ---- Passes k ≥ 2. ----
 	prevLarge := l1
@@ -183,6 +185,8 @@ func (a *appNode) mine(p *sim.Proc) error {
 			RandSeed:   int64(a.id + 1),
 			ProbeCost:  costs.Probe,
 			InsertCost: costs.Insert,
+			Rec:        a.env.Rec,
+			Node:       a.id,
 		}, pager)
 		if err != nil {
 			return err
@@ -190,6 +194,15 @@ func (a *appNode) mine(p *sim.Proc) error {
 		if len(a.env.Clients) > a.id && a.env.Clients[a.id] != nil {
 			a.env.Clients[a.id].AttachTable(table)
 		}
+		// Re-register the gauge probes against this pass's fresh table
+		// (RegisterProbe replaces by node+series, so the old pass's table is
+		// released).
+		a.env.Rec.RegisterProbe(a.id, "resident_bytes", func() float64 {
+			return float64(table.ResidentBytes())
+		})
+		a.env.Rec.RegisterProbe(a.id, "out_lines", func() float64 {
+			return float64(table.Stats().OutLines)
+		})
 
 		mine := 0
 		for i := range cands {
@@ -271,6 +284,7 @@ func (a *appNode) mine(p *sim.Proc) error {
 		if a.id == 0 {
 			res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
 		}
+		a.emitPassSpan(p, k, passStart)
 		if len(large) == 0 {
 			break
 		}
@@ -299,6 +313,17 @@ func (a *appNode) mine(p *sim.Proc) error {
 		res.Bytes = a.env.Net.Bytes()
 	}
 	return nil
+}
+
+// emitPassSpan records one mining pass as a trace span on this node.
+func (a *appNode) emitPassSpan(p *sim.Proc, k int, start sim.Time) {
+	if a.env.Rec.Wants(trace.KSpan) {
+		a.env.Rec.Emit(trace.Event{
+			At: start, Dur: p.Now().Sub(start), Node: a.id,
+			Kind: trace.KSpan, Name: fmt.Sprintf("pass-%d", k),
+			Line: -1, Peer: -1,
+		})
+	}
 }
 
 // runSender scans the local transactions, enumerates k-subsets, batches them

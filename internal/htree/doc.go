@@ -1,0 +1,20 @@
+// Package htree implements the hash tree of Agrawal & Srikant's Apriori:
+// the classic structure for counting which candidate k-itemsets occur in
+// each transaction. Interior nodes hash on the item at their depth; leaves
+// hold candidate lists and split when they grow past a threshold.
+//
+// Key pieces:
+//
+//   - New(k, candidates, opts): builds a tree over the candidate
+//     k-itemsets; WithFanout and WithMaxLeaf tune the interior hash width
+//     and the leaf split threshold.
+//   - Tree.CountTransaction: enumerates the transaction's k-subsets by
+//     recursive descent, incrementing every matching candidate — the inner
+//     loop of a sequential Apriori pass.
+//   - Tree.Frequent(minCount): the candidates that met the threshold,
+//     with their counts.
+//
+// The paper's parallel algorithm replaces this structure with the hash
+// lines of internal/memtable (a flat table partitioned across nodes); the
+// hash tree remains as the reference backend in internal/apriori.
+package htree

@@ -1,7 +1,3 @@
-// Package htree implements the hash tree of Agrawal & Srikant's Apriori: the
-// classic structure for counting which candidate k-itemsets occur in each
-// transaction. Interior nodes hash on the item at their depth; leaves hold
-// candidate lists and split when they grow past a threshold.
 package htree
 
 import (

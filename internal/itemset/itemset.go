@@ -1,10 +1,3 @@
-// Package itemset provides the value types and algebra of association-rule
-// mining: items, ordered itemsets, canonical hashing, the Apriori candidate
-// join/prune step, and subset enumeration over transactions.
-//
-// Items are dense int32 identifiers (as produced by the Quest generator).
-// An Itemset is always kept sorted ascending with no duplicates; all
-// functions in this package preserve that canonical form.
 package itemset
 
 import (

@@ -1,0 +1,29 @@
+// Package memtable implements the candidate-itemset hash table whose memory
+// behaviour the paper studies (§3.3, §4.3–§4.4): itemsets live in hash
+// lines ("all itemsets having the same hash value are assigned to the same
+// hash line... connected with each other to form a list"), each candidate
+// accounts for EntryMemBytes (24 bytes), and when total usage exceeds a
+// configured limit, whole hash lines are swapped out LRU-first through a
+// Pager — to a remote node's memory or to a local disk, depending on which
+// pager is attached.
+//
+// Key types:
+//
+//   - Table: the hash table. Insert adds candidates during candidate
+//     generation; Probe increments a candidate's count during the counting
+//     phase, transparently triggering eviction, pagefault, or remote-update
+//     traffic as the configured Policy dictates.
+//   - Config: capacity limit, eviction policy, swap policy (SimpleSwap
+//     faults absent lines back on access, §4.3; RemoteUpdate pins them
+//     remotely and sends one-way increments, §4.4), plus the optional
+//     trace recorder and node id for event attribution.
+//   - Pager: the interface to the swap device (StoreOut, FetchIn, Update);
+//     implemented by remotemem.Client and disk.SwapPager.
+//   - Stats: cumulative evictions, pagefaults, and updates, read by the
+//     result tables and sampled as gauges by the tracer.
+//
+// With tracing enabled the table emits one event per eviction (with the
+// destination node and bytes shipped), per pagefault (with the source
+// node), and per remote update, each carrying its virtual-time service
+// duration.
+package memtable

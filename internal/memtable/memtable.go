@@ -1,10 +1,3 @@
-// Package memtable implements the candidate-itemset hash table whose memory
-// behaviour the paper studies: itemsets live in hash lines ("all itemsets
-// having the same hash value are assigned to the same hash line... connected
-// with each other to form a list"), each candidate accounts for 24 bytes,
-// and when total usage exceeds a configured limit, whole hash lines are
-// swapped out LRU-first through a Pager — to a remote node's memory or to a
-// local disk, depending on which pager is attached.
 package memtable
 
 import (
@@ -13,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Entry is one candidate itemset (canonical key) with its support count.
@@ -121,6 +115,12 @@ type Config struct {
 	ProbeCost  sim.Duration // CPU per probe (search + compare)
 	InsertCost sim.Duration // CPU per insert (alloc + link)
 	EntryBytes int64        // accounting size per entry (default 24)
+
+	// Rec, when non-nil, receives KEviction/KPagefault/KUpdate events
+	// attributed to Node. A nil Rec costs one pointer comparison per event
+	// site.
+	Rec  *trace.Recorder
+	Node int
 }
 
 type lineState uint8
@@ -321,6 +321,7 @@ func (t *Table) evict(p *sim.Proc, i int32) error {
 	if l.state != stateResident {
 		return fmt.Errorf("memtable: evicting non-resident line %d", i)
 	}
+	start := p.Now()
 	loc, err := t.pager.StoreOut(p, int(i), l.entries)
 	if err != nil {
 		return fmt.Errorf("memtable: store-out of line %d: %w", i, err)
@@ -331,6 +332,12 @@ func (t *Table) evict(p *sim.Proc, i int32) error {
 	l.entries = nil
 	t.resident -= l.bytes
 	t.stats.Evictions++
+	if t.cfg.Rec.Wants(trace.KEviction) {
+		t.cfg.Rec.Emit(trace.Event{
+			At: start, Dur: p.Now().Sub(start), Node: t.cfg.Node,
+			Kind: trace.KEviction, Line: int(i), Peer: loc.Node, Bytes: l.bytes,
+		})
+	}
 	return nil
 }
 
@@ -338,6 +345,7 @@ func (t *Table) evict(p *sim.Proc, i int32) error {
 func (t *Table) fault(p *sim.Proc, i int32) error {
 	l := &t.lines[i]
 	start := p.Now()
+	src := l.loc.Node
 	if err := t.evictUntil(p, l.bytes, i); err != nil {
 		return err
 	}
@@ -352,6 +360,12 @@ func (t *Table) fault(p *sim.Proc, i int32) error {
 	t.lruPushFront(i)
 	t.stats.Pagefaults++
 	t.stats.FaultedTime += p.Now().Sub(start)
+	if t.cfg.Rec.Wants(trace.KPagefault) {
+		t.cfg.Rec.Emit(trace.Event{
+			At: start, Dur: p.Now().Sub(start), Node: t.cfg.Node,
+			Kind: trace.KPagefault, Line: int(i), Peer: src, Bytes: l.bytes,
+		})
+	}
 	t.notePeak()
 	return nil
 }
@@ -401,6 +415,16 @@ func (t *Table) Probe(p *sim.Proc, lineID int, key string) error {
 		if t.cfg.Policy == RemoteUpdate {
 			p.Work(t.cfg.ProbeCost)
 			t.stats.Updates++
+			if t.cfg.Rec.Wants(trace.KUpdate) {
+				start := p.Now()
+				err := t.pager.Update(p, lineID, l.loc, key)
+				t.cfg.Rec.Emit(trace.Event{
+					At: start, Dur: p.Now().Sub(start), Node: t.cfg.Node,
+					Kind: trace.KUpdate, Line: lineID, Peer: l.loc.Node,
+					Bytes: EntryWireBytes,
+				})
+				return err
+			}
 			return t.pager.Update(p, lineID, l.loc, key)
 		}
 		if err := t.fault(p, i); err != nil {

@@ -1,0 +1,23 @@
+// Package oocmine is the paper's mechanism running for real: an out-of-core
+// Apriori miner whose candidate hash table lives under a hard local-memory
+// budget and spills hash lines to remote-memory servers over TCP (package
+// rmtp) — or to a local spill store — using exactly the paper's two
+// policies: simple swapping (fault lines back on access, §4.3) and remote
+// update (pin lines remotely and stream one-way count increments, §4.4).
+//
+// Unlike the simulated cluster (internal/core), which reproduces the
+// paper's *timing* behaviour, this package is a live library a user can
+// point at real rmtp servers to mine datasets whose candidate population
+// exceeds local memory.
+//
+// Key pieces:
+//
+//   - Mine(txns, Config): the out-of-core pass loop; returns the standard
+//     apriori.Result (cross-checked against sequential Apriori in tests)
+//     plus spill Stats.
+//   - Config: the memory budget, Policy (SimpleSwap or RemoteUpdate), and
+//     the Store backends to spill to.
+//   - Store: the minimal spill interface; DialStores connects a set of
+//     rmtp servers, and FileStore (filestore.go) is the local-disk
+//     fallback so the miner works with no servers at all.
+package oocmine

@@ -1,14 +1,3 @@
-// Package oocmine is the paper's mechanism running for real: an out-of-core
-// Apriori miner whose candidate hash table lives under a hard local-memory
-// budget and spills hash lines to remote-memory servers over TCP (package
-// rmtp) — or to a local spill store — using exactly the paper's two
-// policies: simple swapping (fault lines back on access) and remote update
-// (pin lines remotely and stream one-way count increments).
-//
-// Unlike the simulated cluster (internal/core), which reproduces the
-// paper's *timing* behaviour, this package is a live library a user can
-// point at real rmtp servers to mine datasets whose candidate population
-// exceeds local memory.
 package oocmine
 
 import (

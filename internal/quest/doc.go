@@ -1,0 +1,27 @@
+// Package quest reimplements the IBM Quest synthetic basket-data generator
+// of Agrawal & Srikant ("Fast Algorithms for Mining Association Rules",
+// VLDB 1994), the program the paper used to produce its transaction files
+// ("Transaction data was produced using a data generation program developed
+// by Agrawal", §5.1).
+//
+// The generator first draws a pool of maximal potentially large itemsets
+// (patterns); transactions are then assembled from weighted patterns, items
+// being dropped according to per-pattern corruption levels. Workloads are
+// conventionally named TxIyDz: average transaction size x, average pattern
+// size y, z transactions.
+//
+// Key pieces:
+//
+//   - Params: all generator knobs, with Defaults for tests and
+//     PaperParams(scale) reproducing the paper's T10.I4 workload over
+//     5,000 items at a fraction of its 1,000,000 transactions (scaling the
+//     transaction count preserves item frequencies, and therefore the
+//     candidate population the memory experiments depend on).
+//   - Generator / Generate: streaming and one-shot generation; runs are
+//     deterministic per seed.
+//   - Partition: deals transactions round-robin across n application
+//     nodes, the input shape internal/core and internal/hpa consume.
+//   - io.go: text and binary transaction-file readers/writers
+//     (WriteFile/ReadFile and friends) so workloads can be saved and fed
+//     to cmd/hpaminer or external tools.
+package quest

@@ -1,14 +1,3 @@
-// Package quest reimplements the IBM Quest synthetic basket-data generator
-// of Agrawal & Srikant ("Fast Algorithms for Mining Association Rules",
-// VLDB 1994), the program the paper used to produce its transaction files
-// ("Transaction data was produced using a data generation program developed
-// by Agrawal").
-//
-// The generator first draws a pool of maximal potentially large itemsets
-// (patterns); transactions are then assembled from weighted patterns, items
-// being dropped according to per-pattern corruption levels. Workloads are
-// conventionally named TxIyDz: average transaction size x, average pattern
-// size y, z transactions.
 package quest
 
 import (

@@ -2,12 +2,14 @@ package remotemem
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/memtable"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // destState tracks the client's view of one memory-available node.
@@ -89,6 +91,10 @@ type Client struct {
 	// stores, recoveries).
 	Logf func(format string, args ...any)
 
+	// Rec, when non-nil, receives KFaultDetect/KRecover/KMigrateCmd/
+	// KMigrateDone events attributed to this client's node.
+	Rec *trace.Recorder
+
 	stopped    bool
 	rrCursor   int    // rotates swap destinations among eligible stores
 	migrations uint64 // migration rounds initiated
@@ -157,6 +163,12 @@ func (c *Client) markDead(node int) {
 	}
 	c.destStates[node] = destDead
 	c.res.Failovers++
+	if c.Rec.Wants(trace.KFaultDetect) {
+		c.Rec.Emit(trace.Event{
+			At: c.nw.Now(), Node: c.node, Kind: trace.KFaultDetect,
+			Line: -1, Peer: node,
+		})
+	}
 	c.logf("remotemem: node %d: declaring store %d dead", c.node, node)
 }
 
@@ -348,10 +360,18 @@ func (c *Client) recoverLine(p *sim.Proc, line, holder int) ([]memtable.Entry, e
 		return nil, fmt.Errorf("remotemem: node %d: line %d lost with dead store %d and no shadow retained",
 			c.node, line, holder)
 	}
+	start := p.Now()
 	if c.RecoverCPU > 0 {
 		p.Work(sim.Duration(len(sh)) * c.RecoverCPU)
 	}
 	c.res.LinesLost++
+	if c.Rec.Wants(trace.KRecover) {
+		c.Rec.Emit(trace.Event{
+			At: start, Dur: p.Now().Sub(start), Node: c.node,
+			Kind: trace.KRecover, Line: line, Peer: holder,
+			Bytes: int64(len(sh)) * memtable.EntryMemBytes,
+		})
+	}
 	c.logf("remotemem: node %d: recovered line %d (%d entries) lost with store %d",
 		c.node, line, len(sh), holder)
 	c.bytesAt[c.placed[line]] -= c.lineBytes[line]
@@ -475,6 +495,17 @@ func (c *Client) handleReport(p *sim.Proc, msg MemReport) {
 	}
 	c.destStates[msg.Node] = destMigrating
 	c.migrations++
+	if c.Rec.Wants(trace.KMigrateCmd) {
+		var total int64
+		for _, line := range lines {
+			total += c.lineBytes[line]
+		}
+		c.Rec.Emit(trace.Event{
+			At: p.Now(), Node: c.node, Kind: trace.KMigrateCmd,
+			Name: fmt.Sprintf("%d-lines", len(lines)),
+			Line: -1, Peer: msg.Node, Bytes: total,
+		})
+	}
 	perDest := make(map[int][]int, len(dests))
 	for i, line := range lines {
 		d := dests[i%len(dests)]
@@ -514,9 +545,19 @@ func (c *Client) handleMigrateDone(msg MigrateDone) {
 		}
 	}
 	c.destStates[msg.From] = destDrained
+	if c.Rec.Wants(trace.KMigrateDone) {
+		c.Rec.Emit(trace.Event{
+			At: c.nw.Now(), Node: c.node, Kind: trace.KMigrateDone,
+			Name: fmt.Sprintf("%d-lines", len(msg.Lines)),
+			Line: -1, Peer: msg.From,
+		})
+	}
 }
 
-// linesAt returns this client's lines held by the given store node.
+// linesAt returns this client's lines held by the given store node, sorted.
+// The order matters: it decides which migration destination each line gets,
+// so iterating c.placed (a map) directly would make migration placement —
+// and with it the whole event stream — vary between identically-seeded runs.
 func (c *Client) linesAt(node int) []int {
 	var out []int
 	for line, n := range c.placed {
@@ -524,6 +565,7 @@ func (c *Client) linesAt(node int) []int {
 			out = append(out, line)
 		}
 	}
+	sort.Ints(out)
 	return out
 }
 

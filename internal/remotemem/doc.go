@@ -1,0 +1,33 @@
+// Package remotemem implements the paper's contribution: dynamic use of
+// available remote memory as a swap area for the candidate hash table
+// (§4.2–§4.4).
+//
+// It provides four cooperating pieces:
+//
+//   - Store: the server process on a memory-available node that accepts
+//     swapped-out hash lines, serves pagefault fetches, applies one-way
+//     remote updates, and migrates its contents on demand (§4.2–§4.4).
+//   - Monitor: the process on a memory-available node that samples free
+//     memory periodically and broadcasts reports to application nodes
+//     (the paper's `netstat -k` poller, §4.2).
+//   - AvailTable: the client-side shared-memory table of reported
+//     availability that application processes consult when choosing swap
+//     destinations (§4.2).
+//   - Client: the application-node pager (implements memtable.Pager) that
+//     ships lines out, fault-fetches them back, or sends remote updates,
+//     and directs migration when a memory node withdraws (§4.2–§4.4).
+//
+// The flow mirrors the paper: when the memtable exceeds its limit, the
+// Client picks the memory-available node currently reporting the most free
+// memory and stores whole hash lines there; under simple swapping a later
+// probe of an absent line faults it back, while under remote update the
+// line stays pinned remotely and the Client streams one-way count
+// increments. When a monitor reports its node wants memory back (or fails
+// to report at all — failure detection), the Client directs migration of
+// its lines to the remaining stores, preserving counts.
+//
+// Store, Monitor, and Client all accept an optional trace.Recorder; when
+// attached, store/fetch/update service times, availability reports,
+// migration commands and batches, and fault detections are emitted as
+// virtual-time events.
+package remotemem

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 // Monitor is the process on a memory-available node that samples the amount
@@ -28,6 +29,10 @@ type Monitor struct {
 	// the sampling steals CPU from the swap-service process. It contends on
 	// the node CPU when the monitor process is bound to one.
 	SampleCPU sim.Duration
+
+	// Rec, when non-nil, receives one KReport event and a free_bytes gauge
+	// point per broadcast round.
+	Rec *trace.Recorder
 }
 
 // NewMonitor creates a monitor for the given store.
@@ -56,6 +61,15 @@ func (m *Monitor) Run(p *sim.Proc) {
 		}
 		p.Work(m.SampleCPU) // the `netstat -k` sample
 		report := MemReport{Node: m.store.Node(), FreeBytes: m.store.FreeBytes()}
+		if m.Rec != nil {
+			m.Rec.Gauge(p.Now(), m.store.Node(), "free_bytes", float64(report.FreeBytes))
+			if m.Rec.Wants(trace.KReport) {
+				m.Rec.Emit(trace.Event{
+					At: p.Now(), Node: m.store.Node(), Kind: trace.KReport,
+					Line: -1, Peer: -1, Bytes: report.FreeBytes,
+				})
+			}
+		}
 		for _, app := range m.layout.AppIDs() {
 			m.nw.Send(p, m.store.Node(), app, cluster.PortMon, report, reportWireBytes)
 		}

@@ -1,20 +1,3 @@
-// Package remotemem implements the paper's contribution: dynamic use of
-// available remote memory as a swap area for the candidate hash table.
-//
-// It provides four cooperating pieces:
-//
-//   - Store: the server process on a memory-available node that accepts
-//     swapped-out hash lines, serves pagefault fetches, applies one-way
-//     remote updates, and migrates its contents on demand (§4.2–§4.4).
-//   - Monitor: the process on a memory-available node that samples free
-//     memory periodically and broadcasts reports to application nodes
-//     (the paper's `netstat -k` poller, §4.2).
-//   - AvailTable: the client-side shared-memory table of reported
-//     availability that application processes consult when choosing swap
-//     destinations (§4.2).
-//   - Client: the application-node pager (implements memtable.Pager) that
-//     ships lines out, fault-fetches them back, or sends remote updates,
-//     and directs migration when a memory node withdraws (§4.2–§4.4).
 package remotemem
 
 import (

@@ -7,6 +7,7 @@ import (
 	"repro/internal/memtable"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 type lineKey struct {
@@ -32,6 +33,10 @@ type Store struct {
 
 	// Logf, when set, receives diagnostics about dropped messages.
 	Logf func(format string, args ...any)
+
+	// Rec, when non-nil, receives KStoreService/KFetchService/KUpdateApply/
+	// KMigrateBatch events attributed to this store's node.
+	Rec *trace.Recorder
 
 	// Stats.
 	stores, fetches, updates, migratedOut, forwarded, droppedMsgs uint64
@@ -101,6 +106,13 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		s.used += int64(len(cp)) * memtable.EntryMemBytes
 		delete(s.forward, key) // a fresh store supersedes any stale forward
 		s.stores++
+		if s.Rec.Wants(trace.KStoreService) {
+			s.Rec.Emit(trace.Event{
+				At: p.Now(), Node: s.node, Kind: trace.KStoreService,
+				Line: req.Line, Peer: req.Owner,
+				Bytes: int64(len(cp)) * memtable.EntryMemBytes,
+			})
+		}
 
 	case FetchReq:
 		p.Work(s.costs.FetchService)
@@ -122,6 +134,13 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		delete(s.lines, key)
 		s.used -= int64(len(entries)) * memtable.EntryMemBytes
 		s.fetches++
+		if s.Rec.Wants(trace.KFetchService) {
+			s.Rec.Emit(trace.Event{
+				At: p.Now(), Node: s.node, Kind: trace.KFetchService,
+				Line: req.Line, Peer: req.Owner,
+				Bytes: int64(len(entries)) * memtable.EntryMemBytes,
+			})
+		}
 		s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
 			FetchReply{Line: req.Line, Seq: req.Seq, Entries: entries},
 			lineWireBytes(s.nw.Config().BlockSize, len(entries)))
@@ -145,6 +164,12 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 				entries[i].Count++
 				break
 			}
+		}
+		if s.Rec.Wants(trace.KUpdateApply) {
+			s.Rec.Emit(trace.Event{
+				At: p.Now(), Node: s.node, Kind: trace.KUpdateApply,
+				Line: req.Line, Peer: req.Owner, Bytes: updateWireBytes,
+			})
 		}
 
 	case MigrateCmd:
@@ -189,6 +214,8 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 
 	case MigrateBatch:
 		// Bulk arrival of migrated lines from a withdrawing store.
+		start := p.Now()
+		var batchBytes int64
 		for i, line := range req.Lines {
 			p.Work(s.costs.StoreService)
 			key := lineKey{req.Owner, line}
@@ -196,8 +223,16 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 			copy(cp, req.Entries[i])
 			s.lines[key] = cp
 			s.used += int64(len(cp)) * memtable.EntryMemBytes
+			batchBytes += int64(len(cp)) * memtable.EntryMemBytes
 			delete(s.forward, key)
 			s.stores++
+		}
+		if s.Rec.Wants(trace.KMigrateBatch) {
+			s.Rec.Emit(trace.Event{
+				At: start, Dur: p.Now().Sub(start), Node: s.node,
+				Kind: trace.KMigrateBatch, Line: -1, Peer: m.From,
+				Bytes: batchBytes,
+			})
 		}
 
 	default:

@@ -40,6 +40,7 @@ type Client struct {
 	conn   net.Conn // nil when broken/closed
 	bw     *bufio.Writer
 	br     *bufio.Reader
+	m      Metrics
 }
 
 // Dial connects to the server at addr and announces the owner name.
@@ -105,6 +106,7 @@ func (c *Client) connectLocked() error {
 	c.conn = conn
 	c.bw = bw
 	c.br = bufio.NewReader(conn)
+	c.m.Connects++
 	return nil
 }
 
@@ -132,6 +134,7 @@ func (c *Client) ensureLocked() error {
 // failLocked discards a connection after a transport error so the next
 // operation starts from a clean stream.
 func (c *Client) failLocked() {
+	c.m.Errors++
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
@@ -157,6 +160,9 @@ func (c *Client) send(op Op, line int32, payload []byte) error {
 		c.failLocked()
 		return err
 	}
+	c.m.Ops++
+	c.m.OneWay++
+	c.m.BytesSent += uint64(frameHeaderBytes + len(payload))
 	return nil
 }
 
@@ -165,6 +171,7 @@ func (c *Client) send(op Op, line int32, payload []byte) error {
 // desynchronized — closes the connection: a later operation reconnects
 // rather than reading a stale reply (silent corruption).
 func (c *Client) callLocked(op Op, line int32, payload []byte) (Op, []byte, error) {
+	start := time.Now()
 	if err := c.ensureLocked(); err != nil {
 		return 0, nil, err
 	}
@@ -189,6 +196,7 @@ func (c *Client) callLocked(op Op, line int32, payload []byte) (Op, []byte, erro
 		c.failLocked()
 		return 0, nil, fmt.Errorf("rmtp: reply for line %d, want %d (connection desynchronized, closed)", rline, line)
 	}
+	c.observeCallLocked(start, len(payload), len(rpayload))
 	return rop, rpayload, nil
 }
 
@@ -212,6 +220,9 @@ func (c *Client) callIdempotent(op Op, line int32, payload []byte) (Op, []byte, 
 			time.Sleep(c.opts.Backoff << (attempt - 1))
 		}
 		c.mu.Lock()
+		if attempt > 0 {
+			c.m.Retries++
+		}
 		rop, reply, err := c.callLocked(op, line, payload)
 		c.mu.Unlock()
 		if err == nil {

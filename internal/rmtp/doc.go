@@ -1,0 +1,34 @@
+// Package rmtp implements the Remote Memory Transfer Protocol: a compact
+// binary TCP protocol carrying the same operations the simulated cluster's
+// remote-memory layer uses — store a hash line, fetch it back, apply a
+// one-way update, migrate lines to another server, and query occupancy.
+// It demonstrates that the paper's application-level remote-memory
+// interface (§4.2) is directly implementable over commodity sockets; the
+// examples and tests run it over loopback, and internal/oocmine mines real
+// datasets against it.
+//
+// Framing: every message is
+//
+//	[1B op][4B line (big endian)][4B payload length][payload]
+//
+// Strings and entry lists are length-prefixed with uvarints inside the
+// payload. A session starts with OpHello carrying the client's owner id;
+// lines are namespaced per owner, as in the simulated store.
+//
+// Key types:
+//
+//   - Server: holds lines under a capacity, serves all ops, and reports
+//     Stats (stores/fetches/updates/migrations) and Occupancy.
+//   - Client: one connection with reconnect-and-retry for idempotent ops;
+//     Store/Fetch/Update/Migrate/Stat mirror the wire ops.
+//   - Metrics: the client's cumulative transport counters — ops, retries,
+//     connects, errors, bytes each way, and a power-of-two latency
+//     histogram (trace.Histogram) over real (wall-clock) round-trip times.
+//     Client.Metrics returns a copy; Metrics.Snapshot and ServerSnapshot
+//     render either side as an ordered trace.Snapshot for attaching to a
+//     run recording.
+//
+// Unlike the rest of the stack, which runs in virtual time, this package
+// measures real TCP behaviour; its latency numbers are wall-clock
+// nanoseconds.
+package rmtp

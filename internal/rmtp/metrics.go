@@ -1,0 +1,80 @@
+package rmtp
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// frameHeaderBytes is the wire overhead of one frame: op (1) + line (4) +
+// payload length (4).
+const frameHeaderBytes = 9
+
+// Metrics are a client's cumulative transport counters. Unlike the simulated
+// layer's virtual-time trace, these measure real wall-clock TCP behaviour;
+// the latency histogram is in real nanoseconds.
+type Metrics struct {
+	Ops       uint64          // operations attempted (one-way + calls)
+	OneWay    uint64          // one-way frames shipped (Store, Update)
+	Calls     uint64          // request/reply exchanges completed
+	Retries   uint64          // re-issued idempotent attempts
+	Connects  uint64          // successful connections (first dial included)
+	Errors    uint64          // transport failures observed
+	BytesSent uint64          // frames written, headers included
+	BytesRecv uint64          // reply frames read, headers included
+	Latency   trace.Histogram // per-exchange round-trip latency
+}
+
+// Snapshot renders the counters as an ordered trace.Snapshot for attaching
+// to a run recording.
+func (m Metrics) Snapshot(name string) trace.Snapshot {
+	return trace.Snapshot{
+		Name: name,
+		Fields: []trace.Field{
+			{Name: "ops", Value: float64(m.Ops)},
+			{Name: "one_way", Value: float64(m.OneWay)},
+			{Name: "calls", Value: float64(m.Calls)},
+			{Name: "retries", Value: float64(m.Retries)},
+			{Name: "connects", Value: float64(m.Connects)},
+			{Name: "errors", Value: float64(m.Errors)},
+			{Name: "bytes_sent", Value: float64(m.BytesSent)},
+			{Name: "bytes_recv", Value: float64(m.BytesRecv)},
+			{Name: "latency_mean_ns", Value: m.Latency.Mean()},
+			{Name: "latency_p50_ns", Value: float64(m.Latency.Quantile(0.5))},
+			{Name: "latency_p99_ns", Value: float64(m.Latency.Quantile(0.99))},
+		},
+	}
+}
+
+// Metrics returns a copy of the client's counters.
+func (c *Client) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m
+}
+
+// ServerSnapshot renders a server's counters as an ordered trace.Snapshot.
+func ServerSnapshot(name string, s *Server) trace.Snapshot {
+	stores, fetches, updates, migrated := s.Stats()
+	occ := s.Occupancy()
+	return trace.Snapshot{
+		Name: name,
+		Fields: []trace.Field{
+			{Name: "stores", Value: float64(stores)},
+			{Name: "fetches", Value: float64(fetches)},
+			{Name: "updates", Value: float64(updates)},
+			{Name: "migrated", Value: float64(migrated)},
+			{Name: "held_lines", Value: float64(occ.Lines)},
+			{Name: "held_bytes", Value: float64(occ.Bytes)},
+		},
+	}
+}
+
+// observeCall records one completed request/reply exchange.
+func (c *Client) observeCallLocked(start time.Time, sent, recvd int) {
+	c.m.Ops++
+	c.m.Calls++
+	c.m.BytesSent += uint64(frameHeaderBytes + sent)
+	c.m.BytesRecv += uint64(frameHeaderBytes + recvd)
+	c.m.Latency.Observe(time.Since(start).Nanoseconds())
+}

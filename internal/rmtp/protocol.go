@@ -1,18 +1,3 @@
-// Package rmtp implements the Remote Memory Transfer Protocol: a compact
-// binary TCP protocol carrying the same operations the simulated cluster's
-// remote-memory layer uses — store a hash line, fetch it back, apply a
-// one-way update, migrate lines to another server, and query occupancy.
-// It demonstrates that the paper's application-level remote-memory interface
-// is directly implementable over commodity sockets; the examples and tests
-// run it over loopback.
-//
-// Framing: every message is
-//
-//	[1B op][4B line (big endian)][4B payload length][payload]
-//
-// Strings and entry lists are length-prefixed with uvarints inside the
-// payload. A session starts with OpHello carrying the client's owner id;
-// lines are namespaced per owner, as in the simulated store.
 package rmtp
 
 import (

@@ -1,0 +1,16 @@
+// Package rules derives association rules from the large itemsets found by
+// mining: for a large itemset l and a nonempty proper subset a, the rule
+// a ⇒ (l − a) holds with confidence support(l)/support(a) and is reported
+// when that confidence meets the user threshold (Agrawal & Srikant; the
+// paper's "association rule mining" end product, §1).
+//
+// Key pieces:
+//
+//   - Derive(result, minConfidence): enumerates every antecedent subset of
+//     every large itemset, computes confidence and lift from the recorded
+//     supports, and returns the rules sorted by confidence (deterministic
+//     order).
+//   - Rule: antecedent, consequent, support, confidence, lift, with a
+//     human-readable String.
+//   - Top(rules, n): the n most confident rules, for report printing.
+package rules

@@ -1,7 +1,3 @@
-// Package rules derives association rules from the large itemsets found by
-// mining: for a large itemset l and a nonempty proper subset a, the rule
-// a ⇒ (l − a) holds with confidence support(l)/support(a) and is reported
-// when that confidence meets the user threshold.
 package rules
 
 import (

@@ -50,6 +50,11 @@ type Kernel struct {
 	// exceeding it makes Run panic. It guards against runaway simulations
 	// in tests.
 	MaxEvents uint64
+
+	// OnSpawn, when non-nil, is called from Go with the new process's name
+	// and the current virtual time. It exists so an observer (the trace
+	// layer) can record process creation without sim depending on it.
+	OnSpawn func(name string, at Time)
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty event queue.
@@ -88,6 +93,9 @@ func (k *Kernel) After(d Duration, fn func()) {
 // a time. The name appears in diagnostics.
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	if k.OnSpawn != nil {
+		k.OnSpawn(name, k.now)
+	}
 	k.procs++
 	k.all = append(k.all, p)
 	k.After(0, func() {

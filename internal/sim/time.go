@@ -1,15 +1,3 @@
-// Package sim provides a process-oriented discrete-event simulation kernel.
-//
-// A Kernel owns a virtual clock and an event queue. Processes are ordinary
-// goroutines spawned with Kernel.Go; the kernel guarantees that at most one
-// process runs at any instant (a strict handshake transfers control between
-// the kernel goroutine and process goroutines), so process code needs no
-// locking. Processes advance virtual time with Proc.Sleep, accumulate fine-
-// grained CPU charges with Proc.Work, exchange values through Chan, and
-// serialize on shared devices through Resource.
-//
-// The kernel is deterministic: given the same program and seeds, event order
-// is identical across runs.
 package sim
 
 import "fmt"

@@ -1,0 +1,28 @@
+// Package simnet models the paper's ATM interconnect on top of the sim
+// kernel: a star of point-to-point 155 Mbps links through a non-blocking
+// switch (the HITACHI AN1000-20 connected every node directly, "forming a
+// star topology rather than a cascade configuration", §5.1).
+//
+// Each node owns a transmit NIC modelled as a capacity-1 sim.Resource:
+// sending a message occupies the sender's NIC for the message's
+// transmission time (segmented into 4 KB blocks, the paper's message block
+// size), then the message arrives at the destination inbox after the
+// propagation latency. The switch fabric itself is non-blocking, so
+// contention arises exactly where it did on the real cluster: at the
+// endpoints.
+//
+// Key types:
+//
+//   - Network: the switch. New sizes it for n nodes; Send transmits a
+//     Message from a process, charging NIC occupancy and latency;
+//     receivers block on the sim.Chan returned by Inbox(node, port).
+//   - Message: From/To/Port plus an opaque payload and a wire size in
+//     bytes; SentAt records when transmission completed.
+//   - FaultPlan (faults.go): an optional fault layer that drops or delays
+//     traffic to/from crashed nodes, driving the failure-detection paths.
+//
+// With a trace.Recorder attached (SetRecorder), every transmission emits a
+// send event carrying queueing plus transmission time, and every discarded
+// message emits a drop event naming the reason; TxQueueLen exposes NIC
+// queue depth for the tracer's per-node gauges.
+package simnet

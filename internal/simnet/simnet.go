@@ -1,20 +1,10 @@
-// Package simnet models the paper's ATM interconnect on top of the sim
-// kernel: a star of point-to-point 155 Mbps links through a non-blocking
-// switch (the HITACHI AN1000-20 connected every node directly, "forming a
-// star topology rather than a cascade configuration").
-//
-// Each node owns a transmit NIC modelled as a capacity-1 resource: sending a
-// message occupies the sender's NIC for the message's transmission time
-// (segmented into 4 KB blocks, the paper's message block size), then the
-// message arrives at the destination inbox after the propagation latency.
-// The switch fabric itself is non-blocking, so contention arises exactly
-// where it did on the real cluster: at the endpoints.
 package simnet
 
 import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config sets the network's timing parameters. The defaults reproduce the
@@ -97,6 +87,7 @@ type Network struct {
 	cfg    Config
 	nodes  []*nodeIface
 	faults *faultState
+	rec    *trace.Recorder
 
 	totalMsgs  uint64
 	totalBytes uint64
@@ -122,8 +113,17 @@ func New(k *sim.Kernel, cfg Config, n int) *Network {
 	return nw
 }
 
+// SetRecorder attaches a trace recorder (nil detaches). Transmissions emit
+// KSend events (duration = NIC occupancy including queueing) and fault-layer
+// discards emit KDrop.
+func (n *Network) SetRecorder(rec *trace.Recorder) { n.rec = rec }
+
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the kernel's current virtual time (for components that need a
+// timestamp outside a process context).
+func (n *Network) Now() sim.Time { return n.k.Now() }
 
 // Nodes returns the node count.
 func (n *Network) Nodes() int { return len(n.nodes) }
@@ -160,6 +160,7 @@ func (n *Network) Send(p *sim.Proc, from, to, port int, payload any, size int) {
 		n.deliver(msg)
 		return
 	}
+	start := p.Now()
 	src.tx.Acquire(p)
 	p.Sleep(n.cfg.TxTime(size))
 	src.tx.Release(p)
@@ -168,11 +169,18 @@ func (n *Network) Send(p *sim.Proc, from, to, port int, payload any, size int) {
 	src.txMsgs++
 	n.totalMsgs++
 	n.totalBytes += uint64(size)
+	if n.rec.Wants(trace.KSend) {
+		n.rec.Emit(trace.Event{
+			At: start, Dur: msg.SentAt.Sub(start), Node: from,
+			Kind: trace.KSend, Line: -1, Peer: to, Bytes: int64(size),
+		})
+	}
 	lat := n.cfg.Latency
 	if n.faults != nil {
 		ok, extra := n.faults.outcome(from, to, msg.SentAt)
 		if !ok {
 			n.dropped++
+			n.drop(msg, "fault-layer")
 			return
 		}
 		if extra > 0 {
@@ -183,10 +191,20 @@ func (n *Network) Send(p *sim.Proc, from, to, port int, payload any, size int) {
 	n.k.After(lat, func() { n.deliver(msg) })
 }
 
+func (n *Network) drop(msg Message, why string) {
+	if n.rec.Wants(trace.KDrop) {
+		n.rec.Emit(trace.Event{
+			At: n.k.Now(), Node: msg.From, Kind: trace.KDrop,
+			Name: why, Line: -1, Peer: msg.To, Bytes: int64(msg.Size),
+		})
+	}
+}
+
 func (n *Network) deliver(msg Message) {
 	if n.faults != nil && n.faults.crashed[msg.To] {
 		// Receiver crashed while the message was in flight.
 		n.dropped++
+		n.drop(msg, "crashed-receiver")
 		return
 	}
 	nd := n.nodes[msg.To]
@@ -227,3 +245,10 @@ func (n *Network) NodeRx(node int) uint64 { return n.nodes[node].rxMsgs }
 
 // TxBusy returns the cumulative busy time of a node's transmit NIC.
 func (n *Network) TxBusy(node int) sim.Duration { return n.nodes[node].tx.BusyTime() }
+
+// TxQueueLen returns how many sends are waiting for (or holding) a node's
+// transmit NIC right now — the queue-depth gauge the tracer samples.
+func (n *Network) TxQueueLen(node int) int {
+	nd := n.nodes[node]
+	return nd.tx.QueueLen() + nd.tx.InUse()
+}

@@ -1,0 +1,19 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harness reports with: fixed-width text tables, sample
+// summaries, and the imbalance/ratio/byte formatters used across
+// EXPERIMENTS.md regeneration.
+//
+// Key pieces:
+//
+//   - Table: column-aligned text rendering. Widths are measured in runes,
+//     not bytes, so the multi-byte characters report labels use (×, ∞, ≈,
+//     µ, –) do not skew alignment.
+//   - Summary / Summarize: n, min, max, mean, sample standard deviation.
+//   - Skew: (max−min)/mean as a percentage — the imbalance measure for the
+//     paper's Table 3 per-node candidate distribution.
+//   - Ratio and Bytes: "2.27×"-style ratios (÷0 renders ∞) and binary-unit
+//     byte counts ("11.2MB").
+//   - Resilience (resilience.go): aggregated fault-tolerance counters
+//     (failovers, retries, recovered lines) shared by the robustness
+//     experiments.
+package stats

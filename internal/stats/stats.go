@@ -1,11 +1,10 @@
-// Package stats provides small numeric helpers and fixed-width text table
-// rendering for experiment reports.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is a simple column-aligned text table.
@@ -31,11 +30,14 @@ func (t *Table) String() string {
 			ncol = len(r)
 		}
 	}
+	// Column widths are measured in runes, not bytes: cells hold multi-byte
+	// characters (×, ∞, ≈, µ), and byte-based widths would misalign every
+	// column after one.
 	widths := make([]int, ncol)
 	measure := func(cells []string) {
 		for i, c := range cells {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
 			}
 		}
 	}
@@ -57,7 +59,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				sb.WriteString("  ")
 			}
-			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			// %-*s pads by bytes; pad by runes instead.
+			sb.WriteString(c)
+			if pad := widths[i] - utf8.RuneCountInString(c); pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
 		}
 		sb.WriteByte('\n')
 	}
@@ -129,4 +135,18 @@ func Ratio(a, b float64) string {
 		return "∞"
 	}
 	return fmt.Sprintf("%.2f×", a/b)
+}
+
+// Bytes formats a byte count with a binary-ish unit, e.g. "11.2MB".
+func Bytes(n int64) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	}
 }

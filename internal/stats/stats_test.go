@@ -25,6 +25,47 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableRuneWidths pins down that alignment is measured in runes, not
+// bytes: "2.00×" is 5 runes but 7 bytes, "≈120s" 5 runes but 9 bytes. With
+// byte-based widths every column after a multi-byte cell drifts right.
+func TestTableRuneWidths(t *testing.T) {
+	tbl := NewTable("", "ratio", "time", "n")
+	tbl.Add("2.00×", "≈120s", "Y")
+	tbl.Add("10.00", "30µs!", "Z")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header, rule, 2 rows
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Every cell is exactly 5 runes wide, so the "n" column must start at
+	// the same rune offset on every line.
+	wantRunes := len([]rune(lines[2][:strings.Index(lines[2], "Y")]))
+	gotRunes := len([]rune(lines[3][:strings.Index(lines[3], "Z")]))
+	if gotRunes != wantRunes {
+		t.Errorf("columns misaligned (rune offsets %d vs %d):\n%s", wantRunes, gotRunes, out)
+	}
+	// And the two data lines must have equal rune length (equal padding).
+	if len([]rune(lines[2])) != len([]rune(lines[3])) {
+		t.Errorf("row rune lengths differ (%d vs %d):\n%s",
+			len([]rune(lines[2])), len([]rune(lines[3])), out)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2 << 10: "2.0KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.0GB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
 func TestTableNoHeaders(t *testing.T) {
 	tbl := &Table{}
 	tbl.Add("x", "y")

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome trace_event format ("JSON Array
+// Format" with the traceEvents wrapper object), as consumed by
+// chrome://tracing and Perfetto. Only the fields the viewers use are emitted.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`            // "X" complete, "i" instant, "C" counter, "M" metadata
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
+	Pid  int            `json:"pid"`           // node id
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace_event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeName labels an event for the viewer timeline.
+func chromeName(e Event) string {
+	if e.Name != "" {
+		return e.Kind.String() + ":" + e.Name
+	}
+	return e.Kind.String()
+}
+
+// ChromeEvents converts the recording into trace_event entries: one process
+// per node (pid = node id), spans and timed events as complete slices, zero-
+// duration events as instants, and each gauge series as a counter track.
+// Nil-safe (empty trace).
+func (r *Recorder) ChromeEvents() []ChromeEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	events := r.events
+	samples := r.samples
+	r.mu.Unlock()
+	out := make([]ChromeEvent, 0, len(events)+len(samples))
+	for _, e := range events {
+		ce := ChromeEvent{
+			Name: chromeName(e),
+			Cat:  e.Kind.String(),
+			Ts:   float64(e.At) / 1e3,
+			Pid:  e.Node,
+			Args: map[string]any{},
+		}
+		if e.Line >= 0 {
+			ce.Args["line"] = e.Line
+		}
+		if e.Peer >= 0 {
+			ce.Args["peer"] = e.Peer
+		}
+		if e.Bytes != 0 {
+			ce.Args["bytes"] = e.Bytes
+		}
+		if len(ce.Args) == 0 {
+			ce.Args = nil
+		}
+		if e.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		}
+		out = append(out, ce)
+	}
+	for _, s := range samples {
+		out = append(out, ChromeEvent{
+			Name: s.Series,
+			Cat:  "gauge",
+			Ph:   "C",
+			Ts:   float64(s.At) / 1e3,
+			Pid:  s.Node,
+			Args: map[string]any{s.Series: s.Value},
+		})
+	}
+	return out
+}
+
+// WriteChromeJSON writes the recording as Chrome trace_event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Nil-safe (writes an empty
+// trace).
+func (r *Recorder) WriteChromeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(ChromeTrace{
+		TraceEvents:     r.ChromeEvents(),
+		DisplayTimeUnit: "ms",
+	})
+}

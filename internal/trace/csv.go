@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// CSVHeader is the first row of WriteCSV's output. The file is a single flat
+// table mixing the two record types:
+//
+//   - record=event: name holds the kind (plus ":detail" when present), value
+//     is empty, dur/line/peer/bytes describe the event (-1 line/peer = n/a).
+//   - record=gauge: name holds the series, value the sampled reading, and
+//     the remaining columns are empty.
+//
+// Rows are ordered events-then-gauges, each in emission (virtual-time)
+// order, so the file is deterministic for a seeded run.
+const CSVHeader = "record,t_seconds,node,name,value,dur_ms,line,peer,bytes"
+
+// WriteCSV writes the recording as a flat time-series table (see CSVHeader).
+// Nil-safe (writes only the header).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, CSVHeader)
+	if r != nil {
+		r.mu.Lock()
+		events := r.events
+		samples := r.samples
+		r.mu.Unlock()
+		for _, e := range events {
+			fmt.Fprintf(bw, "event,%.6f,%d,%s,,%.3f,%d,%d,%d\n",
+				e.At.Seconds(), e.Node, chromeName(e), e.Dur.Milliseconds(),
+				e.Line, e.Peer, e.Bytes)
+		}
+		for _, s := range samples {
+			fmt.Fprintf(bw, "gauge,%.6f,%d,%s,%g,,,,\n",
+				s.At.Seconds(), s.Node, s.Series, s.Value)
+		}
+	}
+	return bw.Flush()
+}

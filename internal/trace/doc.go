@@ -1,0 +1,51 @@
+// Package trace is the virtual-time event and metrics layer of the
+// reproduction: a zero-dependency recorder threaded through the whole stack
+// so that a run can be studied as a time series, not only as end-of-run
+// aggregates. The paper's evaluation (§4.2–§4.4, Figs. 3–5) is about *when*
+// things happen — per-node memory occupancy ramping through pass 2, pagefault
+// and update message flows, the migration burst when a memory-available node
+// withdraws — and this package is what makes those shapes observable.
+//
+// # Key types
+//
+//   - Recorder — the collection point. A nil *Recorder is valid everywhere
+//     and disabled: every method nil-checks first, so an untraced run pays
+//     only a pointer comparison on guarded call sites (see Wants).
+//   - Event — one typed occurrence (eviction, pagefault, remote update,
+//     store service, migration step, fault detection, disk I/O, network
+//     send/drop, pass span, process spawn) stamped with sim.Time and node id.
+//   - Kind / KindMask — the event taxonomy and the recorder's filter; high-
+//     frequency kinds (per-message sends, per-probe updates) can be masked
+//     out so long runs stay tractable while gauges keep the curves.
+//   - Sample — one point of a named per-node gauge series (resident bytes,
+//     swapped-out lines, store occupancy, NIC queue depth), produced either
+//     directly (Gauge) or by sampling registered probes (RegisterProbe +
+//     SampleProbes) from a tracer process each monitor interval.
+//   - Snapshot — an ordered counter dump from a real-time component (the TCP
+//     rmtp client/server ops, retries, bytes, latency histograms), attached
+//     at the end of a run.
+//   - Histogram — a power-of-two latency histogram used by the rmtp metrics.
+//
+// # Exports
+//
+//   - WriteChromeJSON — Chrome trace_event JSON; open in chrome://tracing or
+//     https://ui.perfetto.dev. Nodes appear as processes, spans as slices,
+//     gauges as counter tracks.
+//   - WriteCSV — a flat time-series dump (one row per event and per sample)
+//     for plotting; EXPERIMENTS.md's time-series section is generated from it.
+//   - Summary — a stats.Table digest (events per kind, bytes, durations).
+//
+// # Example
+//
+//	rec := trace.NewRecorder()
+//	cfg := core.Defaults()
+//	cfg.Trace = rec
+//	info, _ := core.RunWorkload(cfg, wp)
+//	_ = rec.WriteChromeJSON(jsonFile) // chrome://tracing
+//	_ = rec.WriteCSV(csvFile)         // plot resident_bytes over time
+//	fmt.Print(rec.Summary())
+//
+// Determinism: events are appended in simulation dispatch order, so two runs
+// with the same seeds produce byte-identical exports — the golden test in
+// this package guards that property for the discrete-event core.
+package trace

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two latency histogram: bucket i counts
+// observations in [2^i, 2^(i+1)) nanoseconds (bucket 0 also absorbs 0).
+// It is the fixed-size, allocation-free histogram the real-TCP rmtp
+// client uses for per-operation latency; 63 buckets cover every int64.
+// Not safe for concurrent use; callers (rmtp.Client) hold their own lock.
+type Histogram struct {
+	Buckets [63]uint64
+	Count   uint64
+	Sum     int64 // nanoseconds
+}
+
+// Observe records one latency in nanoseconds (negatives clamp to 0).
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.Buckets[bucketOf(ns)]++
+	h.Count++
+	h.Sum += ns
+}
+
+func bucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(ns)) - 1
+}
+
+// Mean returns the mean observed latency in nanoseconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound (the containing bucket's top edge) for the
+// q-quantile latency in nanoseconds, for q in [0,1]. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen > rank {
+			return 1 << (i + 1)
+		}
+	}
+	return 1 << 62
+}
+
+// Merge accumulates o into h.
+func (h *Histogram) Merge(o Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// String renders the non-empty buckets compactly, e.g.
+// "n=5 mean=1.2ms p50≤2.1ms [1ms:3 2ms:2]".
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%s p50≤%s p99≤%s [", h.Count,
+		fmtNs(int64(h.Mean())), fmtNs(h.Quantile(0.5)), fmtNs(h.Quantile(0.99)))
+	first := true
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s:%d", fmtNs(1<<i), c)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case ns < 1_000_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	}
+}

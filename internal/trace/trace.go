@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kind classifies one traced event.
+type Kind uint8
+
+// Event kinds, in rough stack order (application table down to the wire).
+const (
+	KSpan         Kind = iota // named interval (a mining pass on one node)
+	KSpawn                    // simulation process spawned
+	KEviction                 // hash line stored out by the table (memtable)
+	KPagefault                // synchronous fetch-in of a line (memtable)
+	KUpdate                   // one-way update issued by the table (memtable)
+	KStoreService             // store request served at a memory node
+	KFetchService             // fetch request served at a memory node
+	KUpdateApply              // update applied at a memory node
+	KMigrateCmd               // migration direction issued by an owner
+	KMigrateBatch             // bulk migrated lines arrived at a new holder
+	KMigrateDone              // owner notified that lines moved
+	KFaultDetect              // a store declared dead (heartbeat/timeout)
+	KRecover                  // line rebuilt locally from its shadow copy
+	KReport                   // availability report broadcast by a monitor
+	KDiskRead                 // swap-disk read (with seek+rotation+transfer)
+	KDiskWrite                // swap-disk write
+	KSend                     // network transmit (NIC occupancy)
+	KDrop                     // message discarded by the fault layer
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"span", "spawn", "eviction", "pagefault", "update",
+	"store-service", "fetch-service", "update-apply",
+	"migrate-cmd", "migrate-batch", "migrate-done",
+	"fault-detect", "recover", "report",
+	"disk-read", "disk-write", "send", "drop",
+}
+
+// String returns the kind's stable lower-case name (used in exports).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindMask selects which kinds a Recorder keeps.
+type KindMask uint32
+
+// Bit returns the mask bit for one kind.
+func Bit(k Kind) KindMask { return 1 << k }
+
+// AllKinds keeps every event kind (the default).
+const AllKinds = KindMask(1<<numKinds - 1)
+
+// LowFreqKinds excludes the per-message and per-probe kinds (KSend, KUpdate,
+// KUpdateApply, KEviction, KPagefault, KStoreService, KFetchService,
+// KDiskRead, KDiskWrite) whose volume grows with the workload, keeping the
+// structural events — spans, migrations, fault detections, reports — that
+// stay small no matter how long the run is. Gauge series are unaffected by
+// the mask and still carry the occupancy curves.
+const LowFreqKinds = AllKinds &^ (1<<KSend | 1<<KUpdate | 1<<KUpdateApply |
+	1<<KEviction | 1<<KPagefault | 1<<KStoreService | 1<<KFetchService |
+	1<<KDiskRead | 1<<KDiskWrite)
+
+// Event is one traced occurrence, stamped with virtual time and node id.
+// Fields that do not apply are left at their zero value (Line and Peer use
+// -1 for "not applicable" so that line 0 / node 0 stay representable).
+type Event struct {
+	At    sim.Time     // virtual start time
+	Dur   sim.Duration // 0 for instants
+	Node  int          // node the event happened on
+	Kind  Kind
+	Name  string // detail: span or process name, series label
+	Line  int    // hash line id, -1 when n/a
+	Peer  int    // other node involved, -1 when n/a
+	Bytes int64  // wire/memory bytes moved, 0 when n/a
+}
+
+// Sample is one point of a per-node gauge series.
+type Sample struct {
+	At     sim.Time
+	Node   int
+	Series string
+	Value  float64
+}
+
+// Field is one named counter value inside a Snapshot.
+type Field struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot is an ordered counter dump from a component that lives outside
+// virtual time (the real-TCP rmtp client/server), attached once per run.
+type Snapshot struct {
+	Name   string
+	Fields []Field
+}
+
+type probe struct {
+	node   int
+	series string
+	fn     func() float64
+}
+
+// Recorder collects events, gauge samples, and counter snapshots. The zero
+// value is ready to use; a nil *Recorder is valid and disabled (every method
+// is a no-op), which is how the whole stack stays zero-overhead when tracing
+// is off. A Recorder is safe for concurrent use; inside the single-threaded
+// simulation the mutex is uncontended.
+type Recorder struct {
+	// Mask filters event kinds; AllKinds when zero value is left alone via
+	// NewRecorder. Set it before the run starts.
+	Mask KindMask
+
+	mu      sync.Mutex
+	events  []Event
+	samples []Sample
+	snaps   []Snapshot
+	probes  []probe
+}
+
+// NewRecorder returns an enabled recorder keeping all event kinds.
+func NewRecorder() *Recorder { return &Recorder{Mask: AllKinds} }
+
+// Wants reports whether events of kind k would be kept. It is the guard for
+// hot call sites: a nil receiver (tracing disabled) returns false, so the
+// caller never constructs the Event.
+func (r *Recorder) Wants(k Kind) bool {
+	return r != nil && r.Mask&Bit(k) != 0
+}
+
+// Emit appends an event if its kind passes the mask. Nil-safe.
+func (r *Recorder) Emit(e Event) {
+	if r == nil || r.Mask&Bit(e.Kind) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Gauge appends one point of a per-node series. Nil-safe.
+func (r *Recorder) Gauge(at sim.Time, node int, series string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samples = append(r.samples, Sample{At: at, Node: node, Series: series, Value: v})
+	r.mu.Unlock()
+}
+
+// RegisterProbe installs (or replaces) a gauge source sampled by
+// SampleProbes. Probes registered for the same (node, series) pair replace
+// each other — the candidate table is rebuilt each pass, and the fresh
+// table's probe must win. Nil-safe.
+func (r *Recorder) RegisterProbe(node int, series string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.probes {
+		if r.probes[i].node == node && r.probes[i].series == series {
+			r.probes[i].fn = fn
+			return
+		}
+	}
+	r.probes = append(r.probes, probe{node: node, series: series, fn: fn})
+}
+
+// SampleProbes records one point of every registered probe at virtual time
+// at. The tracer process calls it once per monitor interval. Nil-safe.
+func (r *Recorder) SampleProbes(at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	probes := r.probes
+	r.mu.Unlock()
+	for _, pr := range probes {
+		r.Gauge(at, pr.node, pr.series, pr.fn())
+	}
+}
+
+// AddSnapshot attaches an ordered counter dump (typically at run end).
+// Nil-safe.
+func (r *Recorder) AddSnapshot(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.snaps = append(r.snaps, s)
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events in emission order. Nil-safe (empty).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Samples returns the recorded gauge points in emission order. Nil-safe.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Sample(nil), r.samples...)
+}
+
+// Snapshots returns the attached counter snapshots. Nil-safe.
+func (r *Recorder) Snapshots() []Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Snapshot(nil), r.snaps...)
+}
+
+// Len returns the total number of recorded events and samples. Nil-safe.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events) + len(r.samples)
+}
+
+// Summary digests the recording into a table: per event kind, the count,
+// total bytes, and total duration, followed by one row per gauge series
+// (points, last value) and the attached snapshots.
+func (r *Recorder) Summary() *stats.Table {
+	tbl := stats.NewTable("trace summary", "kind", "count", "bytes", "total dur")
+	if r == nil {
+		return tbl
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var counts [numKinds]uint64
+	var bytes [numKinds]int64
+	var durs [numKinds]sim.Duration
+	for _, e := range r.events {
+		counts[e.Kind]++
+		bytes[e.Kind] += e.Bytes
+		durs[e.Kind] += e.Dur
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		tbl.Add(k.String(), fmt.Sprint(counts[k]), fmt.Sprint(bytes[k]), durs[k].String())
+	}
+	type seriesAgg struct {
+		points int
+		last   float64
+	}
+	agg := map[string]*seriesAgg{}
+	var order []string
+	for _, s := range r.samples {
+		key := fmt.Sprintf("gauge %s (node %d)", s.Series, s.Node)
+		a, ok := agg[key]
+		if !ok {
+			a = &seriesAgg{}
+			agg[key] = a
+			order = append(order, key)
+		}
+		a.points++
+		a.last = s.Value
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		a := agg[key]
+		tbl.Add(key, fmt.Sprint(a.points), "", fmt.Sprintf("last=%.0f", a.last))
+	}
+	for _, s := range r.snaps {
+		for _, f := range s.Fields {
+			tbl.Add(fmt.Sprintf("%s %s", s.Name, f.Name), fmt.Sprintf("%.0f", f.Value), "", "")
+		}
+	}
+	return tbl
+}

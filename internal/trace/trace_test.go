@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestNilRecorderNoOp exercises every method on a nil *Recorder; none may
+// panic and all exports must be empty (this is the disabled fast path the
+// whole stack relies on).
+func TestNilRecorderNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Wants(KEviction) {
+		t.Fatal("nil recorder Wants() = true")
+	}
+	r.Emit(Event{Kind: KEviction, Node: 1})
+	r.Gauge(0, 0, "x", 1)
+	r.RegisterProbe(0, "x", func() float64 { return 1 })
+	r.SampleProbes(0)
+	r.AddSnapshot(Snapshot{Name: "s"})
+	if r.Len() != 0 || len(r.Events()) != 0 || len(r.Samples()) != 0 || len(r.Snapshots()) != 0 {
+		t.Fatal("nil recorder retained data")
+	}
+	if got := r.ChromeEvents(); len(got) != 0 {
+		t.Fatalf("nil ChromeEvents = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("nil WriteChromeJSON: %v", err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("nil trace not valid JSON: %v", err)
+	}
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("nil WriteCSV: %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != CSVHeader {
+		t.Fatalf("nil CSV = %q, want header only", got)
+	}
+	if tbl := r.Summary(); tbl == nil {
+		t.Fatal("nil Summary returned nil table")
+	}
+}
+
+func TestMaskFiltering(t *testing.T) {
+	r := NewRecorder()
+	r.Mask = LowFreqKinds
+	if r.Wants(KSend) || r.Wants(KEviction) || r.Wants(KDiskRead) {
+		t.Fatal("high-frequency kind passed LowFreqKinds mask")
+	}
+	if !r.Wants(KMigrateCmd) || !r.Wants(KFaultDetect) || !r.Wants(KSpan) {
+		t.Fatal("structural kind rejected by LowFreqKinds mask")
+	}
+	r.Emit(Event{Kind: KSend})
+	r.Emit(Event{Kind: KMigrateCmd})
+	if got := len(r.Events()); got != 1 {
+		t.Fatalf("events kept = %d, want 1", got)
+	}
+}
+
+func TestProbeReplacement(t *testing.T) {
+	r := NewRecorder()
+	r.RegisterProbe(2, "resident_bytes", func() float64 { return 10 })
+	r.RegisterProbe(2, "resident_bytes", func() float64 { return 20 })
+	r.RegisterProbe(3, "resident_bytes", func() float64 { return 30 })
+	r.SampleProbes(sim.Time(5))
+	samples := r.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (probe replacement failed)", len(samples))
+	}
+	if samples[0].Value != 20 || samples[1].Value != 30 {
+		t.Fatalf("probe values = %v, want [20 30]", samples)
+	}
+}
+
+// TestChromeJSONRoundTrip checks the exported JSON is schema-valid
+// trace_event: unmarshals into the same structs, preserves phases, times in
+// microseconds, and node ids as pids.
+func TestChromeJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	ms := sim.Duration(1_000_000) // 1 ms in ns
+	r.Emit(Event{At: sim.Time(2 * ms), Dur: 3 * ms, Node: 1, Kind: KSpan, Name: "pass-2", Line: -1, Peer: -1})
+	r.Emit(Event{At: sim.Time(7 * ms), Node: 4, Kind: KEviction, Line: 42, Peer: 5, Bytes: 1024})
+	r.Gauge(sim.Time(9*ms), 1, "resident_bytes", 4096)
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeJSON(&buf); err != nil {
+		t.Fatalf("WriteChromeJSON: %v", err)
+	}
+	var ct ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if ct.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", ct.DisplayTimeUnit)
+	}
+	if len(ct.TraceEvents) != 3 {
+		t.Fatalf("traceEvents = %d, want 3", len(ct.TraceEvents))
+	}
+	span := ct.TraceEvents[0]
+	if span.Ph != "X" || span.Name != "span:pass-2" || span.Ts != 2000 || span.Dur != 3000 || span.Pid != 1 {
+		t.Fatalf("span event = %+v", span)
+	}
+	inst := ct.TraceEvents[1]
+	if inst.Ph != "i" || inst.S != "t" || inst.Pid != 4 {
+		t.Fatalf("instant event = %+v", inst)
+	}
+	if inst.Args["line"] != float64(42) || inst.Args["bytes"] != float64(1024) {
+		t.Fatalf("instant args = %v", inst.Args)
+	}
+	ctr := ct.TraceEvents[2]
+	if ctr.Ph != "C" || ctr.Name != "resident_bytes" || ctr.Args["resident_bytes"] != float64(4096) {
+		t.Fatalf("counter event = %+v", ctr)
+	}
+}
+
+func TestCSVRows(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{At: sim.Time(1_500_000_000), Dur: 2_000_000, Node: 0, Kind: KDiskWrite, Line: 7, Peer: -1, Bytes: 512})
+	r.Gauge(sim.Time(2_000_000_000), 3, "out_lines", 12)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != CSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if want := "event,1.500000,0,disk-write,,2.000,7,-1,512"; lines[1] != want {
+		t.Fatalf("event row = %q, want %q", lines[1], want)
+	}
+	if want := "gauge,2.000000,3,out_lines,12,,,,"; lines[2] != want {
+		t.Fatalf("gauge row = %q, want %q", lines[2], want)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KEviction, Bytes: 100})
+	r.Emit(Event{Kind: KEviction, Bytes: 50})
+	r.Gauge(1, 0, "free_bytes", 9)
+	r.AddSnapshot(Snapshot{Name: "rmtp", Fields: []Field{{Name: "ops", Value: 3}}})
+	s := r.Summary().String()
+	for _, want := range []string{"eviction", "150", "free_bytes", "rmtp ops"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.String() != "n=0" || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	for _, ns := range []int64{0, 1, 2, 3, 1000, 1_000_000, -5} {
+		h.Observe(ns)
+	}
+	if h.Count != 7 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Sum != 0+1+2+3+1000+1_000_000+0 {
+		t.Fatalf("sum = %d", h.Sum)
+	}
+	// bucketOf sanity: 0,1 -> 0; 2,3 -> 1; 1000 -> 9; 1e6 -> 19.
+	if bucketOf(0) != 0 || bucketOf(1) != 0 || bucketOf(2) != 1 || bucketOf(3) != 1 {
+		t.Fatal("small bucketOf wrong")
+	}
+	if bucketOf(1024) != 10 || bucketOf(1023) != 9 {
+		t.Fatal("power-of-two bucketOf edge wrong")
+	}
+	// p99 of 7 obs lands in the max bucket's upper edge (>= the largest obs).
+	if q := h.Quantile(0.99); q < 1_000_000 {
+		t.Fatalf("p99 = %d, want >= 1e6", q)
+	}
+	// Quantile is an upper bound for every q.
+	if q := h.Quantile(0); q < 1 {
+		t.Fatalf("p0 = %d", q)
+	}
+	var h2 Histogram
+	h2.Observe(500)
+	h2.Merge(h)
+	if h2.Count != 8 || h2.Sum != h.Sum+500 {
+		t.Fatalf("merge: count=%d sum=%d", h2.Count, h2.Sum)
+	}
+	if !strings.Contains(h.String(), "n=7") {
+		t.Fatalf("String = %q", h.String())
+	}
+}

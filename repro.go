@@ -26,6 +26,8 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +37,7 @@ import (
 	"repro/internal/quest"
 	"repro/internal/rules"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Policy selects how the counting phase treats swapped-out hash lines.
@@ -117,6 +120,11 @@ type Config struct {
 	Cluster       ClusterConfig
 	// MaxPasses caps the number of Apriori passes (0 = run to completion).
 	MaxPasses int
+	// TraceDir, when non-empty, records a virtual-time event/gauge trace of
+	// the run (high-frequency per-message kinds masked) and writes
+	// run.trace.json (Chrome trace_event format, loadable in chrome://tracing
+	// or Perfetto) and run.csv into that directory.
+	TraceDir string
 }
 
 // DefaultConfig returns a configuration mirroring the paper's §5.1
@@ -210,6 +218,47 @@ func (c Config) toInternal() (core.Config, quest.Params, error) {
 	return cfg, wp, nil
 }
 
+// attachTrace enables recording when Config.TraceDir is set.
+func attachTrace(cfg *core.Config, c Config) *trace.Recorder {
+	if c.TraceDir == "" {
+		return nil
+	}
+	rec := trace.NewRecorder()
+	rec.Mask = trace.LowFreqKinds
+	cfg.Trace = rec
+	return rec
+}
+
+// writeTraceDir exports a recording into dir as run.trace.json and run.csv.
+func writeTraceDir(rec *trace.Recorder, dir string) error {
+	if rec == nil {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(dir, "run.trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeJSON(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, "run.csv"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}
+
 // Run generates the workload, executes HPA on the simulated cluster, and
 // derives association rules from the resulting large itemsets.
 func Run(c Config) (*Result, error) {
@@ -217,8 +266,12 @@ func Run(c Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := attachTrace(&cfg, c)
 	info, err := core.RunWorkload(cfg, wp)
 	if err != nil {
+		return nil, err
+	}
+	if err := writeTraceDir(rec, c.TraceDir); err != nil {
 		return nil, err
 	}
 	return buildResult(info, c)
@@ -242,8 +295,12 @@ func RunTransactions(c Config, transactions [][]int) (*Result, error) {
 		}
 		txns[i] = itemset.New(items...)
 	}
+	rec := attachTrace(&cfg, c)
 	info, err := core.Run(cfg, quest.Partition(txns, cfg.AppNodes))
 	if err != nil {
+		return nil, err
+	}
+	if err := writeTraceDir(rec, c.TraceDir); err != nil {
 		return nil, err
 	}
 	return buildResult(info, c)
