@@ -1,9 +1,12 @@
-package repro
+package repro_test
 
 // One benchmark per table and figure of the paper's evaluation, each running
 // a representative configuration of that experiment at bench scale (1/100 of
 // the paper's workload) and reporting the virtual-time result alongside the
-// usual wall-clock metrics. The full sweeps live in cmd/experiments; these
+// usual wall-clock metrics. The bodies live in internal/perf so cmd/bench
+// can run the same code programmatically (testing.Benchmark) and record the
+// BENCH_*.json perf trajectory; these wrappers keep the historical
+// `go test -bench` names. The full sweeps live in cmd/experiments; these
 // benches regenerate each experiment's characteristic data point:
 //
 //	Table 2 → pass-count structure of the sequential mine
@@ -12,169 +15,28 @@ package repro
 //	Table 4 → per-pagefault cost at 16 memory nodes
 //	Fig. 4  → disk vs simple swapping vs remote update at one limit
 //	Fig. 5  → migration during a remote-update run
+//
+// The workload and calibration are derived once and cached in
+// perf.Setup — shared across benchmarks and safe under `-count>1`.
 import (
 	"testing"
 
-	"repro/internal/apriori"
-	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/itemset"
-	"repro/internal/memtable"
-	"repro/internal/quest"
-	"repro/internal/sim"
+	"repro/internal/perf"
 )
 
-const benchScale = 0.01
-
-var benchOpts = experiments.Options{Scale: benchScale, Seed: 1}
-
-// benchState caches the workload and calibration across benchmarks.
-type benchState struct {
-	parts [][]itemset.Itemset
-	calib experiments.Calibration
-	base  core.Config
-}
-
-var benchCache *benchState
-
-func benchSetup(b *testing.B) *benchState {
-	b.Helper()
-	if benchCache == nil {
-		benchCache = &benchState{
-			parts: experiments.WorkloadParts(benchOpts),
-			calib: experiments.Calibrate(benchOpts),
-			base:  experiments.BaseConfig(benchOpts),
-		}
-	}
-	return benchCache
-}
-
-// runBench executes one cluster configuration per iteration and reports the
-// virtual pass-2 time and pagefault count as benchmark metrics.
-func runBench(b *testing.B, mutate func(*core.Config)) {
-	st := benchSetup(b)
-	b.ResetTimer()
-	var info *core.RunInfo
-	for i := 0; i < b.N; i++ {
-		cfg := st.base
-		mutate(&cfg)
-		var err error
-		info, err = core.Run(cfg, st.parts)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(info.Result.Pass2Time.Seconds(), "virt-s")
-	b.ReportMetric(float64(info.Result.MaxPagefaults), "faults")
-}
-
-func BenchmarkTable2PassCounts(b *testing.B) {
-	p := quest.PaperParams(benchScale * 10)
-	txns := quest.Generate(p)
-	b.ResetTimer()
-	var res *apriori.Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = apriori.Mine(txns, apriori.Config{MinSupport: 0.007})
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(res.Passes[1].Candidates), "C2")
-	b.ReportMetric(float64(len(res.Passes)), "passes")
-}
-
-func BenchmarkTable3Partition(b *testing.B) {
-	var calib experiments.Calibration
-	for i := 0; i < b.N; i++ {
-		calib = experiments.Calibrate(benchOpts)
-	}
-	b.ReportMetric(float64(calib.TotalC2), "C2")
-	b.ReportMetric(float64(calib.UsagePerNodeBytes)/(1<<20), "MB/node")
-}
-
-func BenchmarkFig3Bottleneck1MemNode(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.MemNodes = 1
-		c.LimitBytes = st.calib.LimitBytes("12MB")
-		c.Policy = memtable.SimpleSwap
-		c.Backend = core.BackendRemote
-	})
-}
-
-func BenchmarkFig3Resolved16MemNodes(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.MemNodes = 16
-		c.LimitBytes = st.calib.LimitBytes("12MB")
-		c.Policy = memtable.SimpleSwap
-		c.Backend = core.BackendRemote
-	})
-}
-
-func BenchmarkTable4NoLimitBase(b *testing.B) {
-	runBench(b, func(c *core.Config) {
-		c.LimitBytes = 0
-	})
-}
-
-func BenchmarkTable4Fault13MB(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.LimitBytes = st.calib.LimitBytes("13MB")
-		c.Policy = memtable.SimpleSwap
-		c.Backend = core.BackendRemote
-	})
-}
-
-func BenchmarkFig4DiskSwap(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.LimitBytes = st.calib.LimitBytes("13MB")
-		c.Policy = memtable.SimpleSwap
-		c.Backend = core.BackendDisk
-	})
-}
-
-func BenchmarkFig4SimpleSwap(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.LimitBytes = st.calib.LimitBytes("13MB")
-		c.Policy = memtable.SimpleSwap
-		c.Backend = core.BackendRemote
-	})
-}
-
-func BenchmarkFig4RemoteUpdate(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.LimitBytes = st.calib.LimitBytes("13MB")
-		c.Policy = memtable.RemoteUpdate
-		c.Backend = core.BackendRemote
-	})
-}
-
-func BenchmarkFig5Migration(b *testing.B) {
-	st := benchSetup(b)
-	runBench(b, func(c *core.Config) {
-		c.LimitBytes = st.calib.LimitBytes("13MB")
-		c.Policy = memtable.RemoteUpdate
-		c.Backend = core.BackendRemote
-		c.MonitorInterval = sim.Second
-		c.Withdrawals = []core.Withdrawal{{At: 5 * sim.Second, Node: 0}}
-	})
-}
+func BenchmarkTable2PassCounts(b *testing.B)       { perf.BenchTable2PassCounts(b) }
+func BenchmarkTable3Partition(b *testing.B)        { perf.BenchTable3Partition(b) }
+func BenchmarkFig3Bottleneck1MemNode(b *testing.B) { perf.BenchFig3Bottleneck1MemNode(b) }
+func BenchmarkFig3Resolved16MemNodes(b *testing.B) { perf.BenchFig3Resolved16MemNodes(b) }
+func BenchmarkTable4NoLimitBase(b *testing.B)      { perf.BenchTable4NoLimitBase(b) }
+func BenchmarkTable4Fault13MB(b *testing.B)        { perf.BenchTable4Fault13MB(b) }
+func BenchmarkFig4DiskSwap(b *testing.B)           { perf.BenchFig4DiskSwap(b) }
+func BenchmarkFig4SimpleSwap(b *testing.B)         { perf.BenchFig4SimpleSwap(b) }
+func BenchmarkFig4RemoteUpdate(b *testing.B)       { perf.BenchFig4RemoteUpdate(b) }
+func BenchmarkFig5Migration(b *testing.B)          { perf.BenchFig5Migration(b) }
 
 // Public-API macro benchmark: the quickstart path end to end.
-func BenchmarkPublicAPIQuickstart(b *testing.B) {
-	cfg := DefaultConfig()
-	cfg.Workload.Transactions = 5_000
-	cfg.Workload.Items = 500
-	cfg.MinSupport = 0.01
-	for i := 0; i < b.N; i++ {
-		if _, err := Run(cfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkPublicAPIQuickstart(b *testing.B) { perf.BenchPublicAPIQuickstart(b) }
+
+// Real-TCP loopback analogue of the paper's ≈2 ms ATM pagefault.
+func BenchmarkRMTPStoreFetchLoopback(b *testing.B) { perf.BenchRMTPStoreFetchLoopback(b) }

@@ -2,27 +2,73 @@
 // protocol — the memory-available node's server, runnable on a real network.
 //
 //	rmserverd -addr :7009 -capacity 67108864
+//
+// With -debug-addr a second HTTP listener serves net/http/pprof profiles
+// and an expvar view of the live rmtp server counters (op totals,
+// occupancy, wire bytes, latency histogram summary), so a running
+// memory-server fleet can be inspected mid-run:
+//
+//	rmserverd -addr :7009 -debug-addr 127.0.0.1:7010
+//	curl http://127.0.0.1:7010/debug/vars | jq .rmtp
+//	go tool pprof http://127.0.0.1:7010/debug/pprof/profile?seconds=5
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
 
 import "repro/internal/rmtp"
 
+// debugSrv is the store the published expvar closure reads; an atomic
+// pointer because expvar.Publish is once-per-process while tests build
+// several muxes.
+var (
+	debugSrv     atomic.Pointer[rmtp.Server]
+	debugPublish sync.Once
+)
+
+// newDebugMux wires the debug endpoints for one store: /debug/pprof/* and
+// /debug/vars with the live "rmtp" counter snapshot.
+func newDebugMux(srv *rmtp.Server) *http.ServeMux {
+	debugSrv.Store(srv)
+	debugPublish.Do(func() {
+		expvar.Publish("rmtp", expvar.Func(func() any {
+			s := debugSrv.Load()
+			if s == nil {
+				return nil
+			}
+			return s.Metrics().Snapshot("rmtp").Map()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
 func main() {
 	log.SetFlags(log.Ltime)
 	log.SetPrefix("rmserverd: ")
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7009", "listen address")
-		capacity = flag.Int64("capacity", 64<<20, "spare memory to lend, bytes (0 = unlimited)")
-		statEach = flag.Duration("stats", 10*time.Second, "occupancy log period (0 disables)")
+		addr      = flag.String("addr", "127.0.0.1:7009", "listen address")
+		capacity  = flag.Int64("capacity", 64<<20, "spare memory to lend, bytes (0 = unlimited)")
+		statEach  = flag.Duration("stats", 10*time.Second, "occupancy log period (0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (off when empty)")
 	)
 	flag.Parse()
 
@@ -36,13 +82,23 @@ func main() {
 	}
 	log.Printf("lending %d MB of memory on %s", *capacity>>20, srv.Addr())
 
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: newDebugMux(srv)}
+		go func() {
+			log.Printf("debug endpoints (pprof, expvar) on http://%s/debug/", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		defer dbg.Close()
+	}
+
 	if *statEach > 0 {
 		go func() {
 			for range time.Tick(*statEach) {
-				occ := srv.Occupancy()
-				stores, fetches, updates, migrated := srv.Stats()
-				log.Printf("holding %d lines / %d KB; ops: %d stores %d fetches %d updates %d migrated",
-					occ.Lines, occ.Bytes>>10, stores, fetches, updates, migrated)
+				m := srv.Metrics()
+				log.Printf("holding %d lines / %d KB; ops: %d stores %d fetches %d updates %d migrated; latency %s",
+					m.HeldLines, m.HeldBytes>>10, m.Stores, m.Fetches, m.Updates, m.Migrated, m.Latency.String())
 			}
 		}()
 	}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/rmtp"
+)
+
+// TestDebugEndpointsOverLoopback is the -debug-addr integration test: a
+// store serves rmtp on loopback TCP while the debug mux serves pprof and
+// the live expvar metrics; after real client traffic the published "rmtp"
+// snapshot must reflect it.
+func TestDebugEndpointsOverLoopback(t *testing.T) {
+	srv := rmtp.NewServer(0)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dbg := httptest.NewServer(newDebugMux(srv))
+	defer dbg.Close()
+
+	// Real traffic over loopback: store, update, fetch, stat.
+	c, err := rmtp.Dial(srv.Addr(), "miner-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Store(3, []rmtp.Entry{{Key: "ab", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(3, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat(); err != nil {
+		t.Fatal(err)
+	}
+
+	// /debug/vars serves the live rmtp snapshot.
+	resp, err := http.Get(dbg.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", resp.StatusCode)
+	}
+	var vars struct {
+		RMTP map[string]float64 `json:"rmtp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("decoding /debug/vars: %v", err)
+	}
+	if vars.RMTP == nil {
+		t.Fatal("/debug/vars has no rmtp var")
+	}
+	if vars.RMTP["stores"] != 1 || vars.RMTP["fetches"] != 1 || vars.RMTP["updates"] != 1 {
+		t.Fatalf("rmtp op counters = %v", vars.RMTP)
+	}
+	if vars.RMTP["bytes_recv"] <= 0 || vars.RMTP["bytes_sent"] <= 0 {
+		t.Fatalf("rmtp byte counters = %v", vars.RMTP)
+	}
+	if vars.RMTP["requests"] < 5 || vars.RMTP["latency_p99_ns"] < 0 {
+		t.Fatalf("rmtp latency fields = %v", vars.RMTP)
+	}
+
+	// The pprof index and a profile endpoint answer.
+	resp, err = http.Get(dbg.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "heap") {
+		t.Fatalf("pprof index: status %d body %.80q", resp.StatusCode, body)
+	}
+	resp, err = http.Get(dbg.URL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof heap status = %d", resp.StatusCode)
+	}
+
+	// A second mux (fleet restart in-process) re-points the published var
+	// at the new store instead of the dead one.
+	srv2 := rmtp.NewServer(0)
+	if err := srv2.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	dbg2 := httptest.NewServer(newDebugMux(srv2))
+	defer dbg2.Close()
+	resp, err = http.Get(dbg2.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars2 struct {
+		RMTP map[string]float64 `json:"rmtp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars2); err != nil {
+		t.Fatal(err)
+	}
+	if vars2.RMTP["stores"] != 0 {
+		t.Fatalf("fresh store snapshot = %v", vars2.RMTP)
+	}
+}

@@ -1,0 +1,112 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Delta statuses, per benchmark.
+const (
+	StatusOK          = "ok"          // within threshold both ways
+	StatusRegression  = "regression"  // new ns/op >= old * threshold
+	StatusImprovement = "improvement" // new ns/op <= old / threshold
+	StatusNew         = "new"         // only in the new report
+	StatusRemoved     = "removed"     // only in the old report
+	StatusNoBaseline  = "no-baseline" // old ns/op is zero; ratio undefined
+)
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name   string
+	Status string
+	OldNs  float64
+	NewNs  float64
+	// Ratio is NewNs/OldNs (0 when undefined: new/removed/no-baseline).
+	Ratio float64
+}
+
+// Comparison is the result of diffing two reports.
+type Comparison struct {
+	// Threshold is the ratio a benchmark must slow down by to count as a
+	// regression (and speed up by to count as an improvement).
+	Threshold float64
+	Deltas    []Delta
+}
+
+// Regressions lists the names of regressed benchmarks.
+func (c *Comparison) Regressions() []string {
+	var out []string
+	for _, d := range c.Deltas {
+		if d.Status == StatusRegression {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+// Compare diffs two reports benchmark-by-benchmark (matched by name).
+// threshold is the slowdown ratio that flags a regression; values <= 1
+// pick the default 1.25. Benchmarks present on only one side are reported
+// as new/removed, never as regressions; a zero old baseline yields
+// no-baseline (a delta against nothing is meaningless, not a failure).
+func Compare(old, new *Report, threshold float64) *Comparison {
+	if threshold <= 1 {
+		threshold = 1.25
+	}
+	c := &Comparison{Threshold: threshold}
+	seen := map[string]bool{}
+	for _, ob := range old.Benchmarks {
+		seen[ob.Name] = true
+		nb := new.Find(ob.Name)
+		d := Delta{Name: ob.Name, OldNs: ob.NsPerOp}
+		switch {
+		case nb == nil:
+			d.Status = StatusRemoved
+		case ob.NsPerOp <= 0:
+			d.NewNs = nb.NsPerOp
+			d.Status = StatusNoBaseline
+		default:
+			d.NewNs = nb.NsPerOp
+			d.Ratio = nb.NsPerOp / ob.NsPerOp
+			switch {
+			case d.Ratio >= threshold:
+				d.Status = StatusRegression
+			case d.Ratio <= 1/threshold:
+				d.Status = StatusImprovement
+			default:
+				d.Status = StatusOK
+			}
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, nb := range new.Benchmarks {
+		if !seen[nb.Name] {
+			c.Deltas = append(c.Deltas, Delta{Name: nb.Name, Status: StatusNew, NewNs: nb.NsPerOp})
+		}
+	}
+	sort.SliceStable(c.Deltas, func(i, j int) bool { return c.Deltas[i].Name < c.Deltas[j].Name })
+	return c
+}
+
+// Table renders the comparison as an aligned text table.
+func (c *Comparison) Table() *stats.Table {
+	tbl := stats.NewTable(
+		fmt.Sprintf("bench comparison (regression threshold %.2f×)", c.Threshold),
+		"benchmark", "old ns/op", "new ns/op", "ratio", "status")
+	for _, d := range c.Deltas {
+		oldNs, newNs, ratio := "-", "-", "-"
+		if d.OldNs > 0 || d.Status != StatusNew {
+			oldNs = fmt.Sprintf("%.0f", d.OldNs)
+		}
+		if d.Status != StatusRemoved {
+			newNs = fmt.Sprintf("%.0f", d.NewNs)
+		}
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2f×", d.Ratio)
+		}
+		tbl.Add(d.Name, oldNs, newNs, ratio, d.Status)
+	}
+	return tbl
+}

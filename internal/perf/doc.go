@@ -1,0 +1,29 @@
+// Package perf is the continuous-benchmarking layer: it runs the repo's
+// paper-anchored benchmarks programmatically and turns them into a
+// machine-readable perf trajectory (BENCH_*.json) that successive PRs can
+// be compared against.
+//
+// Key pieces:
+//
+//   - Benchmarks (benchmarks.go): the registry of exported benchmark
+//     bodies — one per paper table/figure (Table 2 … Fig. 5), the public
+//     quickstart macro-bench, and a real-TCP rmtp loopback bench. The root
+//     bench_test.go wraps the same bodies so `go test -bench` and
+//     cmd/bench measure identical code. Setup/SetConfig cache the workload
+//     and calibration once per configuration, safe under `-count>1` and
+//     reused across benchmarks.
+//   - MemSampler (memsampler.go): a background goroutine sampling
+//     runtime.MemStats at a fixed interval while a benchmark runs
+//     (weaviate-benchmarker style), folded into each result as a heap
+//     profile summary plus a bounded time series.
+//   - Run (runner.go): executes registered benchmarks via
+//     testing.Benchmark, collecting wall-clock ns/op, allocs, custom
+//     virtual-time metrics (b.ReportMetric extras such as virt-s and
+//     faults), and the sampled heap stats into a schema-versioned Report.
+//   - Report (schema.go): the BENCH_*.json document — run metadata
+//     (commit, Go version, GOOS/GOARCH, NumCPU, scale, seed) plus one
+//     entry per benchmark. WriteFile/ReadFile round-trip it.
+//   - Compare (compare.go): per-benchmark deltas between two reports with
+//     a configurable regression threshold; cmd/bench turns its verdict
+//     into a non-zero exit for CI.
+package perf

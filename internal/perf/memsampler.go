@@ -1,0 +1,146 @@
+package perf
+
+import (
+	"runtime"
+	"time"
+)
+
+// maxSeriesPoints bounds the heap time series embedded in a report so a
+// long benchmark cannot bloat the JSON: longer runs are decimated evenly.
+const maxSeriesPoints = 64
+
+// MemSample is one point of the sampled heap series.
+type MemSample struct {
+	OffsetMS  float64 `json:"offset_ms"`
+	HeapAlloc uint64  `json:"heap_alloc_bytes"`
+	HeapInuse uint64  `json:"heap_inuse_bytes"`
+	HeapSys   uint64  `json:"heap_sys_bytes"`
+}
+
+// MemProfile summarizes the heap samples taken while one benchmark ran.
+type MemProfile struct {
+	IntervalMS      float64 `json:"interval_ms"`
+	Samples         int     `json:"samples"`
+	HeapAllocMax    uint64  `json:"heap_alloc_max_bytes"`
+	HeapInuseMax    uint64  `json:"heap_inuse_max_bytes"`
+	HeapSysMax      uint64  `json:"heap_sys_max_bytes"`
+	TotalAllocDelta uint64  `json:"total_alloc_delta_bytes"`
+	NumGCDelta      uint32  `json:"num_gc_delta"`
+	// Series is the sampled trajectory, decimated to at most
+	// maxSeriesPoints evenly spaced points (nil when no sample fired —
+	// the benchmark finished inside one interval).
+	Series []MemSample `json:"series,omitempty"`
+}
+
+// MemSampler records runtime.MemStats at a fixed interval in a background
+// goroutine while a benchmark runs. Start begins sampling, Stop ends it
+// and returns the profile; the zero value is ready to use and a sampler
+// can be restarted after Stop.
+type MemSampler struct {
+	interval time.Duration
+	start    time.Time
+	base     runtime.MemStats
+	samples  []MemSample
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMemSampler creates a sampler with the given interval (<= 0 picks
+// 100ms).
+func NewMemSampler(interval time.Duration) *MemSampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &MemSampler{interval: interval}
+}
+
+// Start begins background sampling. It panics if the sampler is already
+// running.
+func (s *MemSampler) Start() {
+	if s.stop != nil {
+		panic("perf: MemSampler started twice")
+	}
+	s.start = time.Now()
+	runtime.ReadMemStats(&s.base)
+	s.samples = s.samples[:0]
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.stop, s.done)
+}
+
+func (s *MemSampler) loop(stop, done chan struct{}) {
+	defer close(done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			// The loop goroutine owns s.samples between Start and Stop;
+			// Stop joins on done before reading it.
+			s.samples = append(s.samples, MemSample{
+				OffsetMS:  float64(time.Since(s.start).Microseconds()) / 1e3,
+				HeapAlloc: ms.HeapAlloc,
+				HeapInuse: ms.HeapInuse,
+				HeapSys:   ms.HeapSys,
+			})
+		}
+	}
+}
+
+// Stop ends sampling, waits for the background goroutine to exit, and
+// returns the profile. Calling Stop without Start returns an empty
+// profile.
+func (s *MemSampler) Stop() MemProfile {
+	if s.stop == nil {
+		return MemProfile{IntervalMS: float64(s.interval) / 1e6}
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	p := MemProfile{
+		IntervalMS:      float64(s.interval) / 1e6,
+		Samples:         len(s.samples),
+		TotalAllocDelta: end.TotalAlloc - s.base.TotalAlloc,
+		NumGCDelta:      end.NumGC - s.base.NumGC,
+	}
+	for _, sm := range s.samples {
+		if sm.HeapAlloc > p.HeapAllocMax {
+			p.HeapAllocMax = sm.HeapAlloc
+		}
+		if sm.HeapInuse > p.HeapInuseMax {
+			p.HeapInuseMax = sm.HeapInuse
+		}
+		if sm.HeapSys > p.HeapSysMax {
+			p.HeapSysMax = sm.HeapSys
+		}
+	}
+	// No sample fired (run shorter than one interval): summarize the end
+	// state so the profile is never all-zero.
+	if p.Samples == 0 {
+		p.HeapAllocMax, p.HeapInuseMax, p.HeapSysMax = end.HeapAlloc, end.HeapInuse, end.HeapSys
+		return p
+	}
+	p.Series = decimate(s.samples, maxSeriesPoints)
+	return p
+}
+
+// decimate keeps at most n evenly spaced samples (always including the
+// last).
+func decimate(in []MemSample, n int) []MemSample {
+	if len(in) <= n {
+		return append([]MemSample(nil), in...)
+	}
+	out := make([]MemSample, 0, n)
+	step := float64(len(in)) / float64(n)
+	for i := 0; i < n-1; i++ {
+		out = append(out, in[int(float64(i)*step)])
+	}
+	return append(out, in[len(in)-1])
+}

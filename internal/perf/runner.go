@@ -1,0 +1,119 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// RunOptions configure one trajectory run.
+type RunOptions struct {
+	// Config selects the benchmark workload (zero value: defaults).
+	Config BenchConfig
+	// BenchTime is passed to the testing package's -test.benchtime flag
+	// ("1x", "3x", "2s", ...; "" keeps the current value — the testing
+	// default 1s outside `go test`).
+	BenchTime string
+	// MemInterval is the heap sampling period (<= 0 disables sampling).
+	MemInterval time.Duration
+	// Short marks the produced report as a reduced-effort run.
+	Short bool
+	// Commit stamps the report with the measured revision ("" = unknown).
+	Commit string
+	// Progress, when non-nil, receives one line per benchmark.
+	Progress func(format string, args ...any)
+}
+
+func (o RunOptions) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// testingInitOnce guards testing.Init: outside `go test` the testing
+// package's flags are unregistered and Init must run exactly once before
+// testing.Benchmark; inside a test binary they already exist.
+var testingInitOnce sync.Once
+
+// setBenchTime routes a benchtime value to the testing package.
+func setBenchTime(v string) error {
+	testingInitOnce.Do(func() {
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+	})
+	if v == "" {
+		return nil
+	}
+	return flag.Set("test.benchtime", v)
+}
+
+// Run executes the given benchmarks via testing.Benchmark, sampling
+// runtime.MemStats in the background while each one runs, and returns the
+// schema-versioned report. Benchmark bodies derive the shared workload
+// state through Setup's cache (before their timer starts), so it is
+// computed once per configuration, never per benchmark; callers that want
+// the derivation cost surfaced separately can invoke Setup themselves
+// first.
+func Run(benches []Benchmark, o RunOptions) (*Report, error) {
+	if err := setBenchTime(o.BenchTime); err != nil {
+		return nil, fmt.Errorf("perf: benchtime %q: %w", o.BenchTime, err)
+	}
+	SetConfig(o.Config)
+	cfg := o.Config.fill()
+	r := &Report{
+		Schema:    SchemaVersion,
+		Kind:      reportKind,
+		CreatedAt: time.Now().UTC(),
+		Commit:    o.Commit,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Scale:     cfg.Scale,
+		Seed:      cfg.Seed,
+		BenchTime: o.BenchTime,
+		Short:     o.Short,
+	}
+	for _, bm := range benches {
+		o.progress("running %s (%s)...", bm.Name, bm.Paper)
+		runtime.GC() // level the heap baseline between benchmarks
+		var sampler *MemSampler
+		if o.MemInterval > 0 {
+			sampler = NewMemSampler(o.MemInterval)
+			sampler.Start()
+		}
+		start := time.Now()
+		res := testing.Benchmark(bm.Fn)
+		elapsed := time.Since(start)
+		var mem *MemProfile
+		if sampler != nil {
+			p := sampler.Stop()
+			mem = &p
+		}
+		if res.N == 0 {
+			return nil, fmt.Errorf("perf: benchmark %s failed", bm.Name)
+		}
+		br := BenchResult{
+			Name:        bm.Name,
+			Paper:       bm.Paper,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Mem:         mem,
+		}
+		if len(res.Extra) > 0 {
+			br.Metrics = make(map[string]float64, len(res.Extra))
+			for k, v := range res.Extra {
+				br.Metrics[k] = v
+			}
+		}
+		r.Benchmarks = append(r.Benchmarks, br)
+		o.progress("  %s: n=%d %.0f ns/op (%.1fs total)", bm.Name, res.N, br.NsPerOp, elapsed.Seconds())
+	}
+	return r, nil
+}

@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SchemaVersion is the current BENCH_*.json document version. Readers
+// accept documents at or below it and reject anything newer or unmarked.
+const SchemaVersion = 1
+
+// reportKind marks a JSON document as a perf trajectory report.
+const reportKind = "bench-trajectory"
+
+// Report is one BENCH_*.json document: run metadata plus one entry per
+// benchmark. It is the machine-readable artifact the perf trajectory is
+// built from; Compare diffs two of them.
+type Report struct {
+	Schema    int       `json:"schema"`
+	Kind      string    `json:"kind"`
+	CreatedAt time.Time `json:"created_at"`
+	// Commit is the git revision the run measured ("" when unknown; the
+	// stamp then falls back to the timestamp).
+	Commit    string  `json:"commit,omitempty"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Scale     float64 `json:"scale"`
+	Seed      int64   `json:"seed"`
+	// BenchTime is the testing benchtime the run used (e.g. "1x").
+	BenchTime string `json:"bench_time,omitempty"`
+	// Short marks a reduced-effort run (CI smoke); deltas against a full
+	// run are still name-comparable but noisier.
+	Short      bool          `json:"short,omitempty"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name string `json:"name"`
+	// Paper anchors the benchmark to the table/figure it regenerates.
+	Paper       string  `json:"paper,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Metrics carries the benchmark's b.ReportMetric extras: the
+	// virtual-time results (virt-s, faults), workload invariants (C2,
+	// passes), and rmtp latency summaries (lat-*-ns) where applicable.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Mem is the sampled runtime.MemStats profile taken while the
+	// benchmark ran (nil when sampling was disabled).
+	Mem *MemProfile `json:"mem,omitempty"`
+}
+
+// Metric returns a named extra metric and whether it was recorded.
+func (r BenchResult) Metric(name string) (float64, bool) {
+	v, ok := r.Metrics[name]
+	return v, ok
+}
+
+// Find returns the named benchmark's result, or nil.
+func (r *Report) Find(name string) *BenchResult {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Stamp is the identifier BENCH_<stamp>.json files are named after: the
+// commit when known, otherwise the creation time.
+func (r *Report) Stamp() string {
+	if r.Commit != "" {
+		return r.Commit
+	}
+	return r.CreatedAt.UTC().Format("20060102T150405Z")
+}
+
+// Validate checks the document is a readable perf report.
+func (r *Report) Validate() error {
+	if r.Kind != reportKind {
+		return fmt.Errorf("perf: not a bench report (kind %q)", r.Kind)
+	}
+	if r.Schema < 1 || r.Schema > SchemaVersion {
+		return fmt.Errorf("perf: unsupported schema version %d (max %d)", r.Schema, SchemaVersion)
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return &r, nil
+}

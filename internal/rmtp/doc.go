@@ -27,6 +27,11 @@
 //     Client.Metrics returns a copy; Metrics.Snapshot and ServerSnapshot
 //     render either side as an ordered trace.Snapshot for attaching to a
 //     run recording.
+//   - ServerMetrics: the server-side mirror — op totals, occupancy, wire
+//     bytes each way, and a per-request service-time histogram.
+//     Server.Metrics returns a copy; ServerMetrics.Snapshot (plus
+//     trace.Snapshot.Map) is what rmserverd publishes live over expvar at
+//     its -debug-addr.
 //
 // Unlike the rest of the stack, which runs in virtual time, this package
 // measures real TCP behaviour; its latency numbers are wall-clock

@@ -53,21 +53,64 @@ func (c *Client) Metrics() Metrics {
 	return c.m
 }
 
-// ServerSnapshot renders a server's counters as an ordered trace.Snapshot.
-func ServerSnapshot(name string, s *Server) trace.Snapshot {
-	stores, fetches, updates, migrated := s.Stats()
-	occ := s.Occupancy()
+// ServerMetrics are a server's cumulative counters: operation totals,
+// current occupancy, wire bytes each way (headers included), and a
+// power-of-two histogram of per-request wall-clock service time.
+type ServerMetrics struct {
+	Stores    uint64
+	Fetches   uint64
+	Updates   uint64
+	Migrated  uint64
+	HeldLines int64
+	HeldBytes int64
+	BytesRecv uint64
+	BytesSent uint64
+	Latency   trace.Histogram
+}
+
+// Metrics returns a copy of the server's counters.
+func (s *Server) Metrics() ServerMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerMetrics{
+		Stores:    s.stores,
+		Fetches:   s.fetches,
+		Updates:   s.updates,
+		Migrated:  s.migrated,
+		HeldLines: int64(len(s.lines)),
+		HeldBytes: s.used,
+		BytesRecv: s.bytesRecv,
+		BytesSent: s.bytesSent,
+		Latency:   s.latency,
+	}
+}
+
+// Snapshot renders the counters as an ordered trace.Snapshot. Snapshot.Map
+// gives the same data in the shape expvar wants, which is how rmserverd
+// publishes a live view of a running store.
+func (m ServerMetrics) Snapshot(name string) trace.Snapshot {
 	return trace.Snapshot{
 		Name: name,
 		Fields: []trace.Field{
-			{Name: "stores", Value: float64(stores)},
-			{Name: "fetches", Value: float64(fetches)},
-			{Name: "updates", Value: float64(updates)},
-			{Name: "migrated", Value: float64(migrated)},
-			{Name: "held_lines", Value: float64(occ.Lines)},
-			{Name: "held_bytes", Value: float64(occ.Bytes)},
+			{Name: "stores", Value: float64(m.Stores)},
+			{Name: "fetches", Value: float64(m.Fetches)},
+			{Name: "updates", Value: float64(m.Updates)},
+			{Name: "migrated", Value: float64(m.Migrated)},
+			{Name: "held_lines", Value: float64(m.HeldLines)},
+			{Name: "held_bytes", Value: float64(m.HeldBytes)},
+			{Name: "bytes_recv", Value: float64(m.BytesRecv)},
+			{Name: "bytes_sent", Value: float64(m.BytesSent)},
+			{Name: "requests", Value: float64(m.Latency.Count)},
+			{Name: "latency_mean_ns", Value: m.Latency.Mean()},
+			{Name: "latency_p50_ns", Value: float64(m.Latency.Quantile(0.5))},
+			{Name: "latency_p99_ns", Value: float64(m.Latency.Quantile(0.99))},
 		},
 	}
+}
+
+// ServerSnapshot renders a server's counters as an ordered trace.Snapshot.
+func ServerSnapshot(name string, s *Server) trace.Snapshot {
+	return s.Metrics().Snapshot(name)
 }
 
 // observeCall records one completed request/reply exchange.

@@ -1,0 +1,70 @@
+package rmtp
+
+import (
+	"testing"
+)
+
+// TestServerMetricsLoopback drives a store/fetch/update/stat sequence over
+// loopback and checks the server-side counters a live rmserverd publishes:
+// op totals, wire bytes each way, and the per-request latency histogram.
+func TestServerMetricsLoopback(t *testing.T) {
+	s := NewServer(0)
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr(), "owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	entries := []Entry{{Key: "a", Count: 1}, {Key: "b", Count: 2}}
+	if err := c.Store(7, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update(7, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Fetch(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := s.Metrics()
+	if m.Stores != 1 || m.Fetches != 1 || m.Updates != 1 {
+		t.Fatalf("op counters = %+v", m)
+	}
+	if m.HeldLines != 0 || m.HeldBytes != 0 {
+		t.Fatalf("occupancy after fetch = %d lines / %d bytes", m.HeldLines, m.HeldBytes)
+	}
+	// Hello + store + update + fetch + stat all arrived; fetch + stat
+	// replied. Each frame costs at least its header.
+	if m.BytesRecv < 5*frameHeaderBytes {
+		t.Fatalf("bytes_recv = %d, want >= %d", m.BytesRecv, 5*frameHeaderBytes)
+	}
+	if m.BytesSent < 2*frameHeaderBytes {
+		t.Fatalf("bytes_sent = %d, want >= %d", m.BytesSent, 2*frameHeaderBytes)
+	}
+	if m.Latency.Count < 5 {
+		t.Fatalf("latency observations = %d, want >= 5", m.Latency.Count)
+	}
+	if m.Latency.Quantile(0.5) < 0 || m.Latency.Mean() < 0 {
+		t.Fatal("negative latency summary")
+	}
+
+	snap := m.Snapshot("store-0")
+	vars := snap.Map()
+	for _, key := range []string{"stores", "fetches", "updates", "migrated",
+		"held_lines", "held_bytes", "bytes_recv", "bytes_sent", "requests",
+		"latency_mean_ns", "latency_p50_ns", "latency_p99_ns"} {
+		if _, ok := vars[key]; !ok {
+			t.Fatalf("snapshot missing field %q: %v", key, vars)
+		}
+	}
+	if vars["stores"] != 1 || vars["requests"] != float64(m.Latency.Count) {
+		t.Fatalf("snapshot values = %v", vars)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // entryMemBytes mirrors the paper's 24-byte-per-candidate accounting.
@@ -34,6 +37,8 @@ type Server struct {
 	conns  map[net.Conn]struct{} // live sessions, closed on shutdown
 
 	stores, fetches, updates, migrated uint64
+	bytesRecv, bytesSent               uint64
+	latency                            trace.Histogram // per-request service time
 }
 
 // NewServer creates a server with the given capacity in bytes (0 =
@@ -168,6 +173,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken peer ends the session
 		}
+		start := time.Now()
+		s.mu.Lock()
+		s.bytesRecv += uint64(frameHeaderBytes + len(payload))
+		s.mu.Unlock()
 		if op == OpHello {
 			name, _, err := DecodeString(payload)
 			if err != nil || name == "" {
@@ -175,6 +184,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			owner = name
+			s.observe(start)
 			continue
 		}
 		if owner == "" {
@@ -185,10 +195,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.logf("rmtp server: %s op %d line %d: %v", owner, op, line, err)
 			return
 		}
+		s.observe(start)
 	}
 }
 
+// observe records one served request's wall-clock service time.
+func (s *Server) observe(start time.Time) {
+	s.mu.Lock()
+	s.latency.Observe(time.Since(start).Nanoseconds())
+	s.mu.Unlock()
+}
+
 func (s *Server) reply(conn net.Conn, op Op, line int32, payload []byte) error {
+	s.mu.Lock()
+	s.bytesSent += uint64(frameHeaderBytes + len(payload))
+	s.mu.Unlock()
 	return WriteFrame(conn, op, line, payload)
 }
 

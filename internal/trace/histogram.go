@@ -42,9 +42,12 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Quantile returns an upper bound (the containing bucket's top edge) for the
-// q-quantile latency in nanoseconds, for q in [0,1]. Empty histograms
-// return 0.
+// Quantile estimates the q-quantile latency in nanoseconds for q in [0,1],
+// interpolating linearly inside the containing power-of-two bucket so
+// consumers get a point estimate instead of having to interpolate between
+// bucket edges themselves. The estimate is bounded by the bucket's edges:
+// q=0 returns the first non-empty bucket's lower edge, q=1 the last
+// non-empty bucket's upper edge. Empty histograms return 0.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h.Count == 0 {
 		return 0
@@ -55,18 +58,31 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := uint64(q * float64(h.Count))
-	if rank >= h.Count {
-		rank = h.Count - 1
-	}
-	var seen uint64
+	target := q * float64(h.Count)
+	var seen float64
 	for i, c := range h.Buckets {
-		seen += c
-		if seen > rank {
-			return 1 << (i + 1)
+		if c == 0 {
+			continue
 		}
+		fc := float64(c)
+		if seen+fc >= target {
+			lo := float64(bucketLo(i))
+			hi := float64(int64(1) << (i + 1))
+			return int64(lo + (target-seen)/fc*(hi-lo))
+		}
+		seen += fc
 	}
+	// Unreachable while Count equals the bucket sum; keep the old upper
+	// bound as a defensive answer.
 	return 1 << 62
+}
+
+// bucketLo is bucket i's lower edge (bucket 0 also absorbs 0 and 1).
+func bucketLo(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return 1 << i
 }
 
 // Merge accumulates o into h.
@@ -79,13 +95,13 @@ func (h *Histogram) Merge(o Histogram) {
 }
 
 // String renders the non-empty buckets compactly, e.g.
-// "n=5 mean=1.2ms p50≤2.1ms [1ms:3 2ms:2]".
+// "n=5 mean=1.2ms p50≈2.1ms [1ms:3 2ms:2]".
 func (h *Histogram) String() string {
 	if h.Count == 0 {
 		return "n=0"
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "n=%d mean=%s p50≤%s p99≤%s [", h.Count,
+	fmt.Fprintf(&sb, "n=%d mean=%s p50≈%s p99≈%s [", h.Count,
 		fmtNs(int64(h.Mean())), fmtNs(h.Quantile(0.5)), fmtNs(h.Quantile(0.99)))
 	first := true
 	for i, c := range h.Buckets {

@@ -105,6 +105,17 @@ type Snapshot struct {
 	Fields []Field
 }
 
+// Map renders the snapshot's fields as a name→value map, the shape expvar
+// and JSON consumers want (field order is lost; encoding/json sorts map
+// keys, so the published form stays deterministic).
+func (s Snapshot) Map() map[string]float64 {
+	m := make(map[string]float64, len(s.Fields))
+	for _, f := range s.Fields {
+		m[f.Name] = f.Value
+	}
+	return m
+}
+
 type probe struct {
 	node   int
 	series string

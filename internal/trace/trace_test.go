@@ -178,13 +178,22 @@ func TestHistogram(t *testing.T) {
 	if bucketOf(1024) != 10 || bucketOf(1023) != 9 {
 		t.Fatal("power-of-two bucketOf edge wrong")
 	}
-	// p99 of 7 obs lands in the max bucket's upper edge (>= the largest obs).
-	if q := h.Quantile(0.99); q < 1_000_000 {
-		t.Fatalf("p99 = %d, want >= 1e6", q)
+	// p99 of 7 obs interpolates near the top of the 1e6 bucket [2^19, 2^20):
+	// still at or above the largest observation here.
+	if q := h.Quantile(0.99); q < 1_000_000 || q >= 1<<20 {
+		t.Fatalf("p99 = %d, want in [1e6, 2^20)", q)
 	}
-	// Quantile is an upper bound for every q.
-	if q := h.Quantile(0); q < 1 {
-		t.Fatalf("p0 = %d", q)
+	// Quantile stays within the containing bucket's edges: q=0 is the first
+	// non-empty bucket's lower edge, q=1 the last one's upper edge.
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d, want 0", q)
+	}
+	if q := h.Quantile(1); q != 1<<20 {
+		t.Fatalf("p100 = %d, want 2^20", q)
+	}
+	// p50: target 3.5 falls a quarter into bucket [2,4) -> 2.5, truncated.
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %d, want 2", q)
 	}
 	var h2 Histogram
 	h2.Observe(500)
@@ -194,5 +203,16 @@ func TestHistogram(t *testing.T) {
 	}
 	if !strings.Contains(h.String(), "n=7") {
 		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestSnapshotMap(t *testing.T) {
+	s := Snapshot{Name: "rmtp", Fields: []Field{
+		{Name: "ops", Value: 3},
+		{Name: "bytes_sent", Value: 120},
+	}}
+	m := s.Map()
+	if len(m) != 2 || m["ops"] != 3 || m["bytes_sent"] != 120 {
+		t.Fatalf("Map = %v", m)
 	}
 }
