@@ -65,17 +65,24 @@ func main() {
 	log.SetFlags(log.Ltime)
 	log.SetPrefix("rmserverd: ")
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7009", "listen address")
-		capacity  = flag.Int64("capacity", 64<<20, "spare memory to lend, bytes (0 = unlimited)")
-		statEach  = flag.Duration("stats", 10*time.Second, "occupancy log period (0 disables)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (off when empty)")
+		addr        = flag.String("addr", "127.0.0.1:7009", "listen address")
+		capacity    = flag.Int64("capacity", 64<<20, "spare memory to lend, bytes (0 = unlimited)")
+		statEach    = flag.Duration("stats", 10*time.Second, "occupancy log period (0 disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (off when empty)")
+		maxConns    = flag.Int("max-conns", 0, "refuse sessions past this many concurrent connections (0 = unlimited)")
+		idleTimeout = flag.Duration("idle-timeout", 0, "drop sessions silent for this long (0 = never)")
+		maxFrame    = flag.Int("max-frame", 0, "reject frames with payloads over this many bytes (0 = protocol ceiling)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := rmtp.NewServer(*capacity)
+	srv := rmtp.NewServerOptions(*capacity, rmtp.ServerOptions{
+		MaxConns:      *maxConns,
+		IdleTimeout:   *idleTimeout,
+		MaxFrameBytes: *maxFrame,
+	})
 	srv.SetLogger(log.Printf)
 	if err := srv.ListenContext(ctx, *addr); err != nil {
 		log.Fatal(err)

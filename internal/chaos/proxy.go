@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults describe what the proxy currently does to traffic. The zero value
+// is a transparent relay. A snapshot is taken per transferred chunk, so
+// SetFaults takes effect on in-flight connections immediately.
+type Faults struct {
+	// Latency is added to every transferred chunk, each way.
+	Latency time.Duration
+	// Jitter randomizes the added latency by ±Jitter (requires Latency > 0
+	// only for sensible schedules; it applies on its own too).
+	Jitter time.Duration
+	// BandwidthBPS caps throughput per direction (bytes/second). Zero is
+	// unlimited.
+	BandwidthBPS int
+	// CutAfterBytes hard-resets a connection (RST, not FIN) once this many
+	// more bytes have crossed it, counted per connection from the moment the
+	// faults were applied. Zero disables.
+	CutAfterBytes int64
+	// Blackhole swallows all traffic both ways without closing anything —
+	// the classic half-open partition. Reads keep draining so the peers
+	// block on replies, not writes.
+	Blackhole bool
+	// RefuseNew closes newly accepted connections immediately (a partition
+	// for new sessions; established ones keep working).
+	RefuseNew bool
+}
+
+// ProxyStats count the proxy's interventions.
+type ProxyStats struct {
+	Accepted   uint64 // connections accepted
+	Refused    uint64 // connections closed at accept (RefuseNew)
+	Cuts       uint64 // connections hard-reset (CutAfterBytes or ResetAll)
+	BytesUp    uint64 // client -> server bytes relayed
+	BytesDown  uint64 // server -> client bytes relayed
+	Blackholed uint64 // bytes swallowed while blackholed
+}
+
+// Proxy is an in-process fault-injecting TCP relay: rmtp clients dial the
+// proxy, the proxy dials the real server, and the configured Faults shape or
+// kill the traffic in between. It is the chaos harness's stand-in for a
+// flaky ATM switch, a congested link, or a mid-connection network partition
+// — deterministic under a fixed seed and schedule.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+	seed     int64
+
+	mu     sync.Mutex
+	faults Faults
+	conns  map[*proxyConn]struct{}
+	stats  ProxyStats
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// proxyConn is one relayed client<->server connection pair.
+type proxyConn struct {
+	client, server net.Conn
+	moved          atomic.Int64 // bytes since the current fault regime began
+	cut            atomic.Bool
+}
+
+// NewProxy listens on an ephemeral loopback port and relays every accepted
+// connection to upstream. The seed makes the per-chunk jitter deterministic.
+func NewProxy(upstream string, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		seed:     seed,
+		conns:    make(map[*proxyConn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the real server.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFaults replaces the active fault regime. Per-connection byte meters for
+// CutAfterBytes restart from zero.
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults = f
+	for c := range p.conns {
+		c.moved.Store(0)
+	}
+}
+
+// Faults returns the active regime.
+func (p *Proxy) Faults() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Stats returns a copy of the intervention counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetAll hard-resets (RST) every established connection, leaving the
+// proxy itself up — a mass mid-request connection kill.
+func (p *Proxy) ResetAll() {
+	p.mu.Lock()
+	conns := make([]*proxyConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		p.cut(c)
+	}
+}
+
+// Close stops the proxy and kills all relayed connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	conns := make([]*proxyConn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.client.Close()
+		c.server.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// cut hard-resets one connection pair with an RST (SetLinger(0)) so the
+// peers see a reset mid-stream, not a clean shutdown.
+func (p *Proxy) cut(c *proxyConn) {
+	if c.cut.Swap(true) {
+		return
+	}
+	if tc, ok := c.client.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	if tc, ok := c.server.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.client.Close()
+	c.server.Close()
+	p.mu.Lock()
+	p.stats.Cuts++
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for connIdx := int64(0); ; connIdx++ {
+		clientConn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		refuse := p.closed || p.faults.RefuseNew
+		if refuse {
+			p.stats.Refused++
+		} else {
+			p.stats.Accepted++
+		}
+		p.mu.Unlock()
+		if refuse {
+			clientConn.Close()
+			continue
+		}
+		serverConn, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+		if err != nil {
+			// Upstream down (crashed server): the client's session dies at
+			// its first exchange, exactly like a refused backend.
+			clientConn.Close()
+			continue
+		}
+		c := &proxyConn{client: clientConn, server: serverConn}
+		p.mu.Lock()
+		p.conns[c] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		go p.pump(c, clientConn, serverConn, true, connIdx)
+		go p.pump(c, serverConn, clientConn, false, connIdx)
+	}
+}
+
+// pump relays one direction in chunks, applying the active fault regime to
+// each chunk. Each pump has its own seeded rng, so a fixed proxy seed plus a
+// fixed schedule yields the same per-chunk jitter decisions.
+func (p *Proxy) pump(c *proxyConn, src, dst net.Conn, up bool, connIdx int64) {
+	defer p.wg.Done()
+	defer func() {
+		// Either side ending tears down the pair; the peer pump unblocks.
+		src.Close()
+		dst.Close()
+		p.mu.Lock()
+		delete(p.conns, c)
+		p.mu.Unlock()
+	}()
+	dir := int64(0)
+	if up {
+		dir = 1
+	}
+	rng := rand.New(rand.NewSource(p.seed ^ connIdx<<1 ^ dir))
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			f := p.Faults()
+			if f.Blackhole {
+				// Swallow: keep draining so the sender does not block on a
+				// full window, but deliver nothing.
+				p.mu.Lock()
+				p.stats.Blackholed += uint64(n)
+				p.mu.Unlock()
+				continue
+			}
+			if d := chunkDelay(f, rng); d > 0 {
+				time.Sleep(d)
+			}
+			if f.BandwidthBPS > 0 {
+				time.Sleep(time.Duration(float64(n) / float64(f.BandwidthBPS) * float64(time.Second)))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			p.mu.Lock()
+			if up {
+				p.stats.BytesUp += uint64(n)
+			} else {
+				p.stats.BytesDown += uint64(n)
+			}
+			p.mu.Unlock()
+			if f.CutAfterBytes > 0 && c.moved.Add(int64(n)) >= f.CutAfterBytes {
+				p.cut(c)
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+	}
+}
+
+// chunkDelay computes one chunk's added latency under the regime.
+func chunkDelay(f Faults, rng *rand.Rand) time.Duration {
+	d := f.Latency
+	if f.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(2*f.Jitter)+1)) - f.Jitter
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}

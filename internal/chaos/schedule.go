@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Step is one fault-schedule entry, applied when the soak's operation
+// counter reaches AtOp. Scheduling on the operation counter — not wall time
+// — keeps a seeded soak deterministic: the same schedule always interrupts
+// the same logical operations, however fast the host runs.
+type Step struct {
+	AtOp int    // operation index the step fires before
+	Note string // human-readable description, logged and traced
+
+	// Faults, when non-nil, replaces the proxy's fault regime.
+	Faults *Faults
+	// ResetConns hard-resets every established connection (RST).
+	ResetConns bool
+	// CrashServer kills the rmtp server, losing all its in-memory lines.
+	CrashServer bool
+	// RestartServer brings a crashed server back on the same address,
+	// empty.
+	RestartServer bool
+}
+
+func (s Step) String() string {
+	return fmt.Sprintf("op %d: %s", s.AtOp, s.Note)
+}
+
+// Schedule is an ordered fault plan for one soak run.
+type Schedule []Step
+
+// RandomSchedule builds a seeded schedule of nSteps faults spread across
+// totalOps operations, drawing from the full fault matrix: latency/jitter,
+// bandwidth caps, resets, truncation cuts, blackhole partitions, refused
+// connections, and one crash/restart pair. The same seed always yields the
+// same schedule.
+func RandomSchedule(seed int64, totalOps, nSteps int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var sched Schedule
+	if nSteps < 1 || totalOps < 2 {
+		return sched
+	}
+	// One crash/restart pair at a seeded position, always: a soak that never
+	// kills the server is not testing recovery.
+	crashAt := 1 + rng.Intn(totalOps/2)
+	restartAt := crashAt + 1 + rng.Intn(totalOps/4+1)
+	sched = append(sched,
+		Step{AtOp: crashAt, Note: "server crash (all in-memory lines lost)", CrashServer: true},
+		Step{AtOp: restartAt, Note: "server restart (empty)", RestartServer: true},
+	)
+	for i := 0; i < nSteps; i++ {
+		at := 1 + rng.Intn(totalOps-1)
+		var st Step
+		st.AtOp = at
+		switch rng.Intn(6) {
+		case 0:
+			lat := time.Duration(1+rng.Intn(10)) * time.Millisecond
+			st.Note = fmt.Sprintf("latency %v ± %v", lat, lat/2)
+			st.Faults = &Faults{Latency: lat, Jitter: lat / 2}
+		case 1:
+			bps := 64 << (10 + rng.Intn(4)) // 64KiB/s .. 512KiB/s
+			st.Note = fmt.Sprintf("bandwidth cap %d B/s", bps)
+			st.Faults = &Faults{BandwidthBPS: bps}
+		case 2:
+			st.Note = "reset all connections"
+			st.ResetConns = true
+		case 3:
+			cut := int64(256 + rng.Intn(4096))
+			st.Note = fmt.Sprintf("cut connections after %d bytes", cut)
+			st.Faults = &Faults{CutAfterBytes: cut}
+		case 4:
+			st.Note = "blackhole partition"
+			st.Faults = &Faults{Blackhole: true}
+		case 5:
+			st.Note = "refuse new connections"
+			st.Faults = &Faults{RefuseNew: true}
+		}
+		sched = append(sched, st)
+		// Every injected regime is followed by a clearing step a little
+		// later, so faults are bursts, not a permanently degrading pile-up.
+		if st.Faults != nil {
+			clear := at + 1 + rng.Intn(totalOps/8+1)
+			if clear < totalOps {
+				sched = append(sched, Step{AtOp: clear, Note: "clear faults", Faults: &Faults{}})
+			}
+		}
+	}
+	sched.sort()
+	return sched
+}
+
+// sort orders steps by AtOp, keeping insertion order within a tie (a crash
+// scheduled at the same op as a fault change applies first only if it was
+// added first — deterministic either way).
+func (s Schedule) sort() {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].AtOp < s[j-1].AtOp; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

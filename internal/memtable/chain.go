@@ -1,6 +1,10 @@
 package memtable
 
-import "repro/internal/sim"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // FallbackPager chains two pagers into a degraded-mode tier: store-outs go
 // to Primary (remote memory) and divert to Secondary (disk) when Primary
@@ -21,11 +25,16 @@ type FallbackPager struct {
 // FallbackStores returns how many store-outs were diverted to Secondary.
 func (f *FallbackPager) FallbackStores() uint64 { return f.fallbackStores }
 
-// StoreOut tries Primary first and falls back to Secondary on error.
+// StoreOut tries Primary first and falls back to Secondary on error. With no
+// Secondary configured the primary's error is surfaced as-is instead of
+// panicking on the nil tier.
 func (f *FallbackPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error) {
 	loc, err := f.Primary.StoreOut(p, line, entries)
 	if err == nil {
 		return loc, nil
+	}
+	if f.Secondary == nil {
+		return Location{}, err
 	}
 	f.fallbackStores++
 	return f.Secondary.StoreOut(p, line, entries)
@@ -36,6 +45,9 @@ func (f *FallbackPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, e
 	if loc.Node >= 0 {
 		return f.Primary.FetchIn(p, line, loc)
 	}
+	if f.Secondary == nil {
+		return nil, fmt.Errorf("memtable: line %d routed to the fallback tier, but none is configured", line)
+	}
 	return f.Secondary.FetchIn(p, line, loc)
 }
 
@@ -43,6 +55,9 @@ func (f *FallbackPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, e
 func (f *FallbackPager) Update(p *sim.Proc, line int, loc Location, key string) error {
 	if loc.Node >= 0 {
 		return f.Primary.Update(p, line, loc, key)
+	}
+	if f.Secondary == nil {
+		return fmt.Errorf("memtable: line %d routed to the fallback tier, but none is configured", line)
 	}
 	return f.Secondary.Update(p, line, loc, key)
 }

@@ -75,3 +75,35 @@ func TestFallbackPagerRoutesByTier(t *testing.T) {
 		t.Errorf("FallbackStores = %d, want 1", fb.FallbackStores())
 	}
 }
+
+// TestFallbackPagerNilSecondary: with no Secondary configured the pager
+// surfaces the primary's error (and a clear routing error for fallback-tier
+// locations) instead of panicking on the nil tier.
+func TestFallbackPagerNilSecondary(t *testing.T) {
+	primary := newChainPager(2)
+	fb := &FallbackPager{Primary: primary}
+	k := sim.NewKernel()
+	k.Go("app", func(p *sim.Proc) {
+		if _, err := fb.StoreOut(p, 1, []Entry{{Key: "a"}}); err != nil {
+			t.Fatalf("primary store: %v", err)
+		}
+		primary.refuse = true
+		if _, err := fb.StoreOut(p, 2, []Entry{{Key: "b"}}); err == nil {
+			t.Fatal("refused store with nil Secondary must error")
+		}
+		if _, err := fb.FetchIn(p, 3, Location{Node: -1}); err == nil {
+			t.Fatal("fallback-tier fetch with nil Secondary must error")
+		}
+		if err := fb.Update(p, 3, Location{Node: -1}, "a"); err == nil {
+			t.Fatal("fallback-tier update with nil Secondary must error")
+		}
+		// The primary tier still works.
+		if got, err := fb.FetchIn(p, 1, Location{Node: 2}); err != nil || got[0].Key != "a" {
+			t.Fatalf("primary fetch: %v %v", got, err)
+		}
+	})
+	k.Run()
+	if fb.FallbackStores() != 0 {
+		t.Errorf("FallbackStores = %d, want 0 (no fallback happened)", fb.FallbackStores())
+	}
+}

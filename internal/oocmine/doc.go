@@ -20,4 +20,12 @@
 //   - Store: the minimal spill interface; DialStores connects a set of
 //     rmtp servers, and FileStore (filestore.go) is the local-disk
 //     fallback so the miner works with no servers at all.
+//   - ResilientStore (resilient.go): wraps a remote store with the
+//     simulated cluster's survival tricks, ported to real TCP — a private
+//     shadow copy of every spilled line (mirroring one-way remote updates),
+//     failover to a fallback Store when the server NACKs capacity or the
+//     client's circuit breaker is open, and connection-epoch verification
+//     that decides whether a fetched copy can be trusted over the shadow.
+//     Mining through it under injected faults (package chaos) produces
+//     byte-identical results to a fault-free run.
 package oocmine

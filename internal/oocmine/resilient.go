@@ -1,0 +1,235 @@
+package oocmine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rmtp"
+)
+
+// RemoteStore is the slice of rmtp.Client the resilient wrapper needs: acked
+// stores, lease-protected fetches, one-way updates, and the connection epoch
+// that tells it when one-way frames may have died with a connection.
+type RemoteStore interface {
+	StoreAck(line int32, entries []rmtp.Entry) error
+	Fetch(line int32) ([]rmtp.Entry, error)
+	Update(line int32, key string) error
+	ConnEpoch() uint64
+}
+
+var _ RemoteStore = (*rmtp.Client)(nil)
+
+// ResilientStats count the wrapper's degraded-mode activity.
+type ResilientStats struct {
+	Failovers       uint64 // lines diverted to the fallback tier at store time
+	Recoveries      uint64 // fetches served from the shadow after a remote failure
+	Taints          uint64 // lines whose remote copy went stale (lost one-way updates)
+	VerifiedFetches uint64 // remote fetches proven identical to the shadow
+	Mismatches      uint64 // verified fetches that differed — a transport bug
+}
+
+// lineState is the wrapper's private record of one remotely-stored line.
+type lineState struct {
+	shadow   []rmtp.Entry // mirror of the remote copy, updates applied locally
+	epoch    uint64       // ConnEpoch when the line's last remote write happened
+	tainted  bool         // a remote write failed: the shadow is authoritative
+	fallback bool         // the line lives in the fallback tier, not remotely
+}
+
+// ResilientStore wraps a remote rmtp store with the shadow-copy recovery
+// pattern the simulated cluster uses (DESIGN §7), adapted to real TCP:
+//
+//   - Stores are acked (StoreAck). A refusal — capacity NACK, open breaker,
+//     spent retry budget, dead server — diverts the line to the fallback
+//     Store (typically a FileStore: the disk tier) instead of losing it.
+//   - Every remotely-stored line keeps a private shadow copy; one-way updates
+//     are mirrored into it.
+//   - Fetches verify. TCP delivers frames on one connection in order, so a
+//     fetch reply arriving on the same connection epoch as the line's last
+//     write proves every earlier one-way update landed: the remote counts
+//     must equal the shadow's, and a difference is a real transport bug
+//     (Mismatches). An epoch change in between means the one-ways may have
+//     died with the old connection: the line is tainted and the shadow is
+//     authoritative (Taints). A failed fetch falls back to the shadow
+//     outright (Recoveries).
+//
+// It implements Store, so Mine can swap against a chaos-degraded server and
+// still finish with exact counts. Methods are safe for concurrent use (one
+// wrapper per client connection, like rmtp.Client itself).
+type ResilientStore struct {
+	mu       sync.Mutex
+	remote   RemoteStore
+	fallback Store
+	lines    map[int32]*lineState
+	stats    ResilientStats
+	logf     func(string, ...any)
+}
+
+// NewResilientStore wraps remote with shadow-copy recovery. fallback receives
+// lines the remote refuses; nil disables failover (refused stores error).
+func NewResilientStore(remote RemoteStore, fallback Store) *ResilientStore {
+	return &ResilientStore{
+		remote:   remote,
+		fallback: fallback,
+		lines:    make(map[int32]*lineState),
+		logf:     func(string, ...any) {},
+	}
+}
+
+// SetLogger directs diagnostic output (default: silent).
+func (r *ResilientStore) SetLogger(f func(string, ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	r.logf = f
+}
+
+// Stats returns a copy of the degraded-mode counters.
+func (r *ResilientStore) Stats() ResilientStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Store ships a line remotely with an ack, keeping a shadow copy. A refused
+// or failed store diverts the line to the fallback tier.
+func (r *ResilientStore) Store(line int32, entries []rmtp.Entry) error {
+	if err := r.remote.StoreAck(line, entries); err != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.fallback == nil {
+			return fmt.Errorf("oocmine: resilient store line %d (no fallback): %w", line, err)
+		}
+		if ferr := r.fallback.Store(line, entries); ferr != nil {
+			return fmt.Errorf("oocmine: resilient store line %d: remote %v; fallback: %w", line, err, ferr)
+		}
+		r.stats.Failovers++
+		// A stale remote copy may survive (e.g. a NACK after a replacing
+		// store); route every later operation for this line to the fallback.
+		r.lines[line] = &lineState{fallback: true}
+		r.logf("oocmine: line %d diverted to fallback tier: %v", line, err)
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lines[line] = &lineState{
+		shadow: append([]rmtp.Entry(nil), entries...),
+		epoch:  r.remote.ConnEpoch(),
+	}
+	return nil
+}
+
+// Update applies a one-way increment, mirrored into the shadow. A failed send
+// taints the line: the increment lives only in the shadow, so the shadow
+// stays authoritative from here on.
+func (r *ResilientStore) Update(line int32, key string) error {
+	r.mu.Lock()
+	st, ok := r.lines[line]
+	if ok && st.fallback {
+		r.mu.Unlock()
+		return r.fallback.Update(line, key)
+	}
+	if ok {
+		for i := range st.shadow {
+			if st.shadow[i].Key == key {
+				st.shadow[i].Count++
+				break
+			}
+		}
+		if st.tainted {
+			r.mu.Unlock()
+			return nil // remote copy already stale; don't widen the divergence
+		}
+	}
+	r.mu.Unlock()
+
+	err := r.remote.Update(line, key)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.lines[line]; ok {
+		if err != nil {
+			if !st.tainted {
+				st.tainted = true
+				r.stats.Taints++
+				r.logf("oocmine: line %d tainted: update send failed: %v", line, err)
+			}
+			return nil // the shadow carries the count
+		}
+		st.epoch = r.remote.ConnEpoch()
+	}
+	return err
+}
+
+// Fetch retrieves a line, verifying the remote copy against the shadow and
+// falling back to the shadow when the remote copy failed, went stale, or
+// cannot be trusted. The line's state is dropped afterwards (destructive
+// read, like every Store implementation here).
+func (r *ResilientStore) Fetch(line int32) ([]rmtp.Entry, error) {
+	r.mu.Lock()
+	st, ok := r.lines[line]
+	if ok && st.fallback {
+		delete(r.lines, line)
+		r.mu.Unlock()
+		return r.fallback.Fetch(line)
+	}
+	if ok && st.tainted {
+		delete(r.lines, line)
+		r.stats.Recoveries++
+		shadow := st.shadow
+		r.mu.Unlock()
+		// Best-effort: release the stale remote copy so it stops holding
+		// server capacity. Its contents are ignored; the client's own
+		// deadlines and breaker bound the attempt.
+		r.remote.Fetch(line)
+		return shadow, nil
+	}
+	r.mu.Unlock()
+
+	entries, err := r.remote.Fetch(line)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok = r.lines[line]
+	if !ok {
+		// Never stored through this wrapper; pass the remote result through.
+		return entries, err
+	}
+	delete(r.lines, line)
+	if err != nil {
+		r.stats.Recoveries++
+		r.logf("oocmine: line %d recovered from shadow: remote fetch: %v", line, err)
+		return st.shadow, nil
+	}
+	if r.remote.ConnEpoch() != st.epoch {
+		// The connection turned over since the line's last write: one-way
+		// updates may have died in flight, so the remote counts can be
+		// silently low. The shadow is authoritative.
+		r.stats.Taints++
+		r.logf("oocmine: line %d: connection epoch changed since last write; using shadow", line)
+		return st.shadow, nil
+	}
+	// Same epoch: TCP ordering proves every one-way update landed before the
+	// fetch was served, so remote and shadow must agree exactly.
+	if !entriesEqual(entries, st.shadow) {
+		r.stats.Mismatches++
+		r.logf("oocmine: line %d: verified fetch DIFFERS from shadow — transport bug", line)
+		return st.shadow, fmt.Errorf("oocmine: line %d: remote copy diverged from shadow on a verified fetch", line)
+	}
+	r.stats.VerifiedFetches++
+	return entries, nil
+}
+
+func entriesEqual(a, b []rmtp.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ Store = (*ResilientStore)(nil)

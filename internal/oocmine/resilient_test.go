@@ -1,0 +1,296 @@
+package oocmine
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/rmtp"
+)
+
+// fakeRemote is a scriptable RemoteStore: tests flip its error knobs and
+// bump its epoch to simulate reconnects and lost one-way updates.
+type fakeRemote struct {
+	lines     map[int32][]rmtp.Entry
+	epoch     uint64
+	storeErr  error
+	updateErr error
+	fetchErr  error
+	dropNext  bool // swallow the next update (delivered nowhere)
+	fetches   int
+}
+
+func newFakeRemote() *fakeRemote {
+	return &fakeRemote{lines: make(map[int32][]rmtp.Entry), epoch: 1}
+}
+
+func (f *fakeRemote) StoreAck(line int32, entries []rmtp.Entry) error {
+	if f.storeErr != nil {
+		return f.storeErr
+	}
+	f.lines[line] = append([]rmtp.Entry(nil), entries...)
+	return nil
+}
+
+func (f *fakeRemote) Update(line int32, key string) error {
+	if f.updateErr != nil {
+		return f.updateErr
+	}
+	if f.dropNext {
+		f.dropNext = false
+		return nil // "sent" but lost in flight
+	}
+	for i, e := range f.lines[line] {
+		if e.Key == key {
+			f.lines[line][i].Count++
+			break
+		}
+	}
+	return nil
+}
+
+func (f *fakeRemote) Fetch(line int32) ([]rmtp.Entry, error) {
+	f.fetches++
+	if f.fetchErr != nil {
+		return nil, f.fetchErr
+	}
+	entries, ok := f.lines[line]
+	if !ok {
+		return nil, errors.New("not held")
+	}
+	delete(f.lines, line)
+	return entries, nil
+}
+
+func (f *fakeRemote) ConnEpoch() uint64 { return f.epoch }
+
+func testFileStore(t *testing.T) *FileStore {
+	t.Helper()
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+// TestResilientVerifiedFetch: healthy path — same epoch end to end, updates
+// land remotely and in the shadow, and the fetch verifies them equal.
+func TestResilientVerifiedFetch(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, testFileStore(t))
+	if err := rs.Store(1, []rmtp.Entry{{Key: "a", Count: 1}, {Key: "b", Count: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := rs.Update(1, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rs.Fetch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Count != 4 || got[1].Count != 2 {
+		t.Fatalf("entries = %v", got)
+	}
+	st := rs.Stats()
+	if st.VerifiedFetches != 1 || st.Taints != 0 || st.Recoveries != 0 || st.Mismatches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestResilientFailoverToFallback: a refused store diverts the line to the
+// fallback tier; later updates and the fetch follow it there.
+func TestResilientFailoverToFallback(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, testFileStore(t))
+	remote.storeErr = rmtp.ErrCapacity
+	if err := rs.Store(5, []rmtp.Entry{{Key: "x", Count: 1}}); err != nil {
+		t.Fatalf("failover store: %v", err)
+	}
+	if err := rs.Update(5, "x"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Fetch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("entries = %v", got)
+	}
+	if st := rs.Stats(); st.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", st.Failovers)
+	}
+	if remote.fetches != 0 {
+		t.Errorf("remote fetched %d times for a failed-over line", remote.fetches)
+	}
+}
+
+// TestResilientNoFallbackErrors: without a fallback tier a refused store is
+// an error, not a silent loss.
+func TestResilientNoFallbackErrors(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, nil)
+	remote.storeErr = rmtp.ErrCircuitOpen
+	if err := rs.Store(1, []rmtp.Entry{{Key: "a"}}); !errors.Is(err, rmtp.ErrCircuitOpen) {
+		t.Fatalf("store = %v, want wrapped ErrCircuitOpen", err)
+	}
+}
+
+// TestResilientEpochChangeTaints: an update lost in flight plus a reconnect
+// before the fetch — the wrapper must detect the epoch change and trust the
+// shadow, recovering the exact count.
+func TestResilientEpochChangeTaints(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, testFileStore(t))
+	if err := rs.Store(2, []rmtp.Entry{{Key: "k", Count: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	remote.dropNext = true // this update dies on the wire
+	if err := rs.Update(2, "k"); err != nil {
+		t.Fatal(err)
+	}
+	remote.epoch++ // the connection turned over before the fetch
+	got, err := rs.Fetch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 11 {
+		t.Fatalf("entries = %v, want the shadow's count 11", got)
+	}
+	st := rs.Stats()
+	if st.Taints != 1 || st.VerifiedFetches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestResilientFetchFailureRecovers: the remote fetch fails outright; the
+// shadow serves the line.
+func TestResilientFetchFailureRecovers(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, testFileStore(t))
+	if err := rs.Store(3, []rmtp.Entry{{Key: "k", Count: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	remote.fetchErr = errors.New("server crashed")
+	got, err := rs.Fetch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 7 {
+		t.Fatalf("entries = %v", got)
+	}
+	if st := rs.Stats(); st.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", st.Recoveries)
+	}
+}
+
+// TestResilientUpdateSendFailureTaints: a failed update send taints the line
+// immediately; the shadow carries the count and serves the fetch.
+func TestResilientUpdateSendFailureTaints(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, testFileStore(t))
+	if err := rs.Store(4, []rmtp.Entry{{Key: "k", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	remote.updateErr = errors.New("broken pipe")
+	if err := rs.Update(4, "k"); err != nil {
+		t.Fatalf("tainting update must not error: %v", err)
+	}
+	remote.updateErr = nil
+	// Further updates stay shadow-only: the remote copy is already stale.
+	if err := rs.Update(4, "k"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Fetch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Count != 3 {
+		t.Fatalf("count = %d, want 3 (shadow authoritative)", got[0].Count)
+	}
+	st := rs.Stats()
+	if st.Taints != 1 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if remote.lines[4] != nil && remote.lines[4][0].Count != 1 {
+		t.Errorf("remote copy mutated after taint: %v", remote.lines[4])
+	}
+}
+
+// TestResilientMismatchIsAnError: remote and shadow differing on a
+// same-epoch fetch is a transport bug — surfaced loudly, not papered over.
+func TestResilientMismatchIsAnError(t *testing.T) {
+	remote := newFakeRemote()
+	rs := NewResilientStore(remote, testFileStore(t))
+	if err := rs.Store(6, []rmtp.Entry{{Key: "k", Count: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	remote.lines[6][0].Count = 99 // corrupt the remote copy behind the wrapper
+	_, err := rs.Fetch(6)
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("fetch = %v, want divergence error", err)
+	}
+	if st := rs.Stats(); st.Mismatches != 1 {
+		t.Errorf("Mismatches = %d, want 1", st.Mismatches)
+	}
+}
+
+// TestResilientPassThrough: a line never stored through the wrapper is
+// fetched straight from the remote (no shadow to compare against).
+func TestResilientPassThrough(t *testing.T) {
+	remote := newFakeRemote()
+	remote.lines[9] = []rmtp.Entry{{Key: "z", Count: 3}}
+	rs := NewResilientStore(remote, testFileStore(t))
+	got, err := rs.Fetch(9)
+	if err != nil || len(got) != 1 || got[0].Count != 3 {
+		t.Fatalf("pass-through fetch = %v, %v", got, err)
+	}
+	if st := rs.Stats(); st != (ResilientStats{}) {
+		t.Errorf("stats = %+v, want all zero", st)
+	}
+}
+
+// TestResilientMineEndToEnd: Mine over a ResilientStore-wrapped real rmtp
+// server produces the same result as in-core mining, even when the tiny
+// server keeps diverting lines to disk via capacity NACKs.
+func TestResilientMineEndToEnd(t *testing.T) {
+	txns, want := workload(t)
+
+	// A tiny server: many acked stores draw capacity NACKs and fail over.
+	srv := rmtp.NewServer(16 * entryBudgetBytes)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := rmtp.Dial(srv.Addr(), "miner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	rs := NewResilientStore(cl, testFileStore(t))
+
+	got, _, err := Mine(txns, Config{
+		MinSupport: 0.02,
+		LimitBytes: 2 << 10,
+		Policy:     RemoteUpdate,
+		Lines:      256,
+		Stores:     []Store{rs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := apriori.SameLarge(got, want); !ok {
+		t.Fatalf("resilient mining differs: %s", why)
+	}
+	st := rs.Stats()
+	if st.Mismatches != 0 {
+		t.Errorf("Mismatches = %d, want 0", st.Mismatches)
+	}
+	if st.Failovers == 0 {
+		t.Error("expected capacity failovers against a 16-entry server")
+	}
+}

@@ -2,6 +2,7 @@ package remotemem
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"repro/internal/cluster"
@@ -78,6 +79,16 @@ type Client struct {
 	FetchRetries int
 	// RetryBackoff is the pause before the first retry, doubling per retry.
 	RetryBackoff sim.Duration
+	// RetryJitter randomizes each backoff pause to ±RetryJitter fraction of
+	// its nominal value (0..1). Zero keeps pure doubling — deterministic, but
+	// it synchronizes the retry clocks of every client a dying store dropped,
+	// so they all stampede back in the same virtual-time instant. The jitter
+	// sequence is seeded per client (JitterSeed), keeping seeded runs
+	// reproducible.
+	RetryJitter float64
+	// JitterSeed seeds the jitter sequence (default: derived from the node
+	// id, so identically-configured runs stay deterministic).
+	JitterSeed int64
 	// DeadAfter declares a store dead when its MemReports have been silent
 	// this long. Set it to at least twice the monitor interval, or healthy
 	// stores get spuriously declared dead between reports. Zero disables
@@ -100,6 +111,7 @@ type Client struct {
 	migrations uint64 // migration rounds initiated
 	relocated  uint64 // lines whose location changed via MigrateDone
 	fetchSeq   uint64 // request id generator for FetchReq.Seq
+	jitterRng  *rand.Rand
 	res        stats.Resilience
 }
 
@@ -287,8 +299,8 @@ func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtab
 		}
 		if attempt > 0 {
 			c.res.Retries++
-			if c.RetryBackoff > 0 {
-				p.Sleep(c.RetryBackoff << (attempt - 1))
+			if pause := c.retryPause(attempt); pause > 0 {
+				p.Sleep(pause)
 			}
 		}
 		c.fetchSeq++
@@ -350,6 +362,34 @@ func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtab
 	}
 	return nil, fmt.Errorf("remotemem: node %d: fetch of line %d from store %d timed out after %d attempts",
 		c.node, line, target, attempts)
+}
+
+// retryPause returns the backoff before retry `attempt` (1-based):
+// exponential doubling, randomized by ±RetryJitter so clients dropped
+// together do not retry in lockstep. The jitter rng is seeded per client,
+// keeping seeded runs bit-identical across replays; with RetryJitter zero
+// the original pure-doubling schedule (and its golden traces) is unchanged.
+func (c *Client) retryPause(attempt int) sim.Duration {
+	if c.RetryBackoff <= 0 {
+		return 0
+	}
+	d := c.RetryBackoff << (attempt - 1)
+	if c.RetryJitter > 0 {
+		if c.jitterRng == nil {
+			seed := c.JitterSeed
+			if seed == 0 {
+				seed = int64(c.node) + 1
+			}
+			c.jitterRng = rand.New(rand.NewSource(seed))
+		}
+		if span := int64(float64(d) * c.RetryJitter); span > 0 {
+			d += sim.Duration(c.jitterRng.Int63n(2*span+1) - span)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // recoverLine rebuilds a line lost with a dead store from its shadow copy,

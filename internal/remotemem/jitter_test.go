@@ -1,0 +1,52 @@
+package remotemem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRetryPauseJitter: the retry pause doubles per attempt, jitter spreads
+// it within ±RetryJitter of nominal, and a fixed seed replays the identical
+// sequence — the property that keeps seeded chaos runs reproducible.
+func TestRetryPauseJitter(t *testing.T) {
+	base := 10 * sim.Millisecond
+
+	// Zero jitter: the original pure-doubling schedule, bit-identical.
+	plain := &Client{RetryBackoff: base}
+	for attempt, want := 1, base; attempt <= 4; attempt, want = attempt+1, want*2 {
+		if d := plain.retryPause(attempt); d != want {
+			t.Errorf("attempt %d: %v, want %v", attempt, d, want)
+		}
+	}
+
+	mk := func(seed int64) *Client {
+		return &Client{RetryBackoff: base, RetryJitter: 0.5, JitterSeed: seed}
+	}
+	c := mk(7)
+	seen := map[sim.Duration]bool{}
+	for i := 0; i < 100; i++ {
+		d := c.retryPause(1)
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("jittered pause %v outside [%v, %v]", d, base/2, base*3/2)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("only %d distinct pauses in 100 draws — jitter not spreading", len(seen))
+	}
+
+	a, b := mk(42), mk(42)
+	for i := 1; i <= 16; i++ {
+		if da, db := a.retryPause(i), b.retryPause(i); da != db {
+			t.Fatalf("attempt %d: %v != %v under the same seed", i, da, db)
+		}
+	}
+
+	// Unseeded clients derive the seed from the node id: deterministic too.
+	u1 := &Client{node: 3, RetryBackoff: base, RetryJitter: 0.5}
+	u2 := &Client{node: 3, RetryBackoff: base, RetryJitter: 0.5}
+	if d1, d2 := u1.retryPause(1), u2.retryPause(1); d1 != d2 {
+		t.Errorf("node-derived seed not deterministic: %v != %v", d1, d2)
+	}
+}

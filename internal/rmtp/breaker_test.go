@@ -1,0 +1,216 @@
+package rmtp
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+// killingServer accepts connections and kills each at its first real request
+// until `behaveFrom`; later sessions serve Stat{Lines: 7}.
+func killingServer(t *testing.T, behaveFrom int) *fakeServer {
+	return newFakeServer(t, func(conn net.Conn, session int) {
+		defer conn.Close()
+		for {
+			op, line, _, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if op == OpHello {
+				continue
+			}
+			if session < behaveFrom {
+				return // kill at the first real request
+			}
+			if err := WriteFrame(conn, OpOK, line, EncodeStat(Stat{Lines: 7})); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestBreakerTripsAndFastFails: after BreakerThreshold consecutive failures
+// the breaker opens; further operations fail fast with ErrCircuitOpen
+// without touching the network.
+func TestBreakerTripsAndFastFails(t *testing.T) {
+	srv := killingServer(t, 1<<30) // never behaves
+	cl, err := DialOptions(srv.ln.Addr().String(), "app0", Options{
+		Timeout:          time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute, // long: stays open for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Stat(); err == nil {
+			t.Fatalf("call %d against a killing server succeeded", i)
+		} else if errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("call %d fast-failed before the threshold", i)
+		}
+	}
+	start := time.Now()
+	if _, err := cl.Stat(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call after trip = %v, want ErrCircuitOpen", err)
+	}
+	if e := time.Since(start); e > 100*time.Millisecond {
+		t.Errorf("fast-fail took %v — it must not touch the network", e)
+	}
+	m := cl.Metrics()
+	if m.BreakerTrips != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", m.BreakerTrips)
+	}
+	if m.BreakerFastFails != 1 {
+		t.Errorf("BreakerFastFails = %d, want 1", m.BreakerFastFails)
+	}
+}
+
+// TestBreakerHalfOpenRecovers: once the cooldown elapses a single probe is
+// admitted; its success closes the breaker and normal service resumes.
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	srv := killingServer(t, 3) // sessions 0..2 die, 3+ behave
+	cl, err := DialOptions(srv.ln.Addr().String(), "app0", Options{
+		Timeout:          time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Stat(); err == nil {
+			t.Fatalf("call %d succeeded against a killing session", i)
+		}
+	}
+	if _, err := cl.Stat(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want fast-fail while open, got %v", err)
+	}
+	time.Sleep(80 * time.Millisecond) // cooldown elapses -> half-open
+	st, err := cl.Stat()              // the probe, against a behaving session
+	if err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	if st.Lines != 7 {
+		t.Errorf("probe Stat = %+v", st)
+	}
+	// Closed again: the next call is served, not fast-failed.
+	if _, err := cl.Stat(); err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+	m := cl.Metrics()
+	if m.BreakerTrips != 1 || m.BreakerFastFails != 1 {
+		t.Errorf("trips=%d fastFails=%d, want 1/1", m.BreakerTrips, m.BreakerFastFails)
+	}
+}
+
+// TestRetryBudgetExhaustion: the cumulative budget cuts retry sequences
+// short with a typed *BudgetError that matches ErrRetryBudget.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	srv := killingServer(t, 1<<30)
+	cl, err := DialOptions(srv.ln.Addr().String(), "app0", Options{
+		Timeout:     time.Second,
+		Retries:     5,
+		Backoff:     time.Millisecond,
+		RetryBudget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, err = cl.Stat()
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("first exhausted call = %v, want ErrRetryBudget", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T does not unwrap to *BudgetError", err)
+	}
+	if be.Op != OpStat || be.Spent != 2 || be.Err == nil {
+		t.Errorf("BudgetError = op %d, spent %d, cause %v", be.Op, be.Spent, be.Err)
+	}
+
+	// The budget is client-lifetime: the next call gives up after one attempt.
+	if _, err := cl.Stat(); !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("second call = %v, want ErrRetryBudget", err)
+	}
+	m := cl.Metrics()
+	if m.Retries != 2 {
+		t.Errorf("Retries = %d, want exactly the budget (2)", m.Retries)
+	}
+	if m.BudgetDenied != 2 {
+		t.Errorf("BudgetDenied = %d, want 2", m.BudgetDenied)
+	}
+}
+
+// TestBackoffJitterSpread: jittered backoff stays within ±Jitter of nominal,
+// actually varies, and is deterministic under a fixed seed.
+func TestBackoffJitterSpread(t *testing.T) {
+	base := 100 * time.Millisecond
+	mk := func(seed int64) *Client {
+		return &Client{
+			opts: Options{Backoff: base, Jitter: 0.5},
+			rng:  rand.New(rand.NewSource(seed)),
+		}
+	}
+	c := mk(1)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := c.backoffLocked(1)
+		if d < base/2 || d > base*3/2 {
+			t.Fatalf("backoff %v outside [%v, %v]", d, base/2, base*3/2)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d distinct backoffs in 200 draws — jitter not spreading", len(seen))
+	}
+	// Deterministic: same seed, same sequence.
+	a, b := mk(42), mk(42)
+	for i := 1; i <= 32; i++ {
+		if da, db := a.backoffLocked(i), b.backoffLocked(i); da != db {
+			t.Fatalf("attempt %d: %v != %v under the same seed", i, da, db)
+		}
+	}
+}
+
+// TestBackoffDoublingAndCap: without jitter the pause doubles per attempt and
+// the shift is capped so huge attempt counts cannot overflow.
+func TestBackoffDoublingAndCap(t *testing.T) {
+	c := &Client{opts: Options{Backoff: time.Millisecond}}
+	for attempt, want := 1, time.Millisecond; attempt <= 5; attempt, want = attempt+1, want*2 {
+		if d := c.backoffLocked(attempt); d != want {
+			t.Errorf("attempt %d: %v, want %v", attempt, d, want)
+		}
+	}
+	capped := time.Millisecond << 16
+	if d := c.backoffLocked(1000); d != capped {
+		t.Errorf("attempt 1000: %v, want shift-capped %v", d, capped)
+	}
+}
+
+// TestConnEpochAdvancesOnReconnect: the epoch is the reconnect generation
+// resilient callers use to detect possibly-lost one-way frames.
+func TestConnEpochAdvancesOnReconnect(t *testing.T) {
+	srv := killingServer(t, 1) // session 0 dies, 1+ behave
+	cl, err := DialOptions(srv.ln.Addr().String(), "app0",
+		Options{Timeout: time.Second, Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	e0 := cl.ConnEpoch()
+	if e0 != 1 {
+		t.Fatalf("epoch after dial = %d, want 1", e0)
+	}
+	if _, err := cl.Stat(); err != nil { // session 0 dies; retry reconnects
+		t.Fatal(err)
+	}
+	if e1 := cl.ConnEpoch(); e1 != 2 {
+		t.Errorf("epoch after forced reconnect = %d, want 2", e1)
+	}
+}

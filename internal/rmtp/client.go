@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -13,18 +15,82 @@ import (
 // client never reconnects.
 var ErrClosed = errors.New("rmtp: client closed")
 
+// ErrCircuitOpen is returned (fast, without touching the network) while the
+// client's circuit breaker is open: the server failed BreakerThreshold
+// consecutive operations and the cooldown has not yet elapsed. Callers with a
+// fallback tier should divert on it rather than queue behind a dead server.
+var ErrCircuitOpen = errors.New("rmtp: circuit breaker open")
+
+// ErrRetryBudget marks a retried operation that stopped because the client's
+// cumulative retry budget ran out. Use errors.Is to detect it; the returned
+// error wraps the last transport failure.
+var ErrRetryBudget = errors.New("rmtp: retry budget exhausted")
+
+// ErrCapacity marks a StoreAck the server refused with a capacity NACK: the
+// line would not fit in the server's memory budget. The line was NOT stored;
+// the caller should divert it to a fallback tier.
+var ErrCapacity = errors.New("rmtp: server over capacity")
+
+// nackCapacityPrefix tags capacity NACK payloads so clients can detect them
+// without parsing free text.
+const nackCapacityPrefix = "capacity:"
+
+// BudgetError reports retry-budget exhaustion: which operation gave up, how
+// many retries the client had spent in total, and the last transport failure
+// (unwrappable). errors.Is(err, ErrRetryBudget) matches it.
+type BudgetError struct {
+	Op    Op
+	Spent uint64 // cumulative retries spent by the client when it gave up
+	Err   error  // last transport failure
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("rmtp: retry budget exhausted after %d retries (op %d): %v", e.Spent, e.Op, e.Err)
+}
+
+func (e *BudgetError) Unwrap() error { return e.Err }
+
+// Is reports ErrRetryBudget identity so errors.Is works without exposing the
+// struct.
+func (e *BudgetError) Is(target error) bool { return target == ErrRetryBudget }
+
 // Options configure client-side robustness. The zero value reproduces the
-// original trusting behavior: no deadlines, no retries.
+// original trusting behavior: no deadlines, no retries, no breaker.
 type Options struct {
 	// Timeout bounds each operation's network I/O (dial, request write,
 	// reply read). Zero means wait forever.
 	Timeout time.Duration
-	// Retries is how many times idempotent operations (Fetch, Stat) are
-	// re-issued after a transport failure, transparently reconnecting in
-	// between. One-way and non-idempotent operations never retry.
+	// Retries is how many times idempotent operations (Fetch, Stat, acked
+	// stores, releases) are re-issued after a transport failure,
+	// transparently reconnecting in between. One-way and non-idempotent
+	// operations never retry.
 	Retries int
 	// Backoff is the pause before the first retry, doubling per retry.
 	Backoff time.Duration
+	// Jitter randomizes each backoff pause to ±Jitter fraction of its
+	// nominal value (0..1). Zero keeps pure doubling — which synchronizes
+	// the retry clocks of every client a restarting server dropped, so they
+	// all stampede back at the same instant. Any production fleet should
+	// set it (0.5 is a good default).
+	Jitter float64
+	// Seed makes the jitter sequence deterministic (tests, chaos replays).
+	// Zero derives a seed from the global RNG.
+	Seed int64
+	// RetryBudget caps the client's *cumulative* retries across all
+	// operations (0 = unlimited). When spent, a failing idempotent call
+	// stops after its first attempt and surfaces *BudgetError
+	// (errors.Is(err, ErrRetryBudget)) instead of burning more round trips
+	// on a server that keeps failing.
+	RetryBudget int
+	// BreakerThreshold arms a per-server circuit breaker: after this many
+	// consecutive transport failures the breaker opens and operations fail
+	// fast with ErrCircuitOpen for BreakerCooldown, then a single half-open
+	// probe is allowed through; its success closes the breaker, its failure
+	// re-opens it for another cooldown. Zero disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before the
+	// half-open probe (default 1s when BreakerThreshold is set).
+	BreakerCooldown time.Duration
 }
 
 // Client is a connection to one rmtp server. Methods are safe for
@@ -40,7 +106,12 @@ type Client struct {
 	conn   net.Conn // nil when broken/closed
 	bw     *bufio.Writer
 	br     *bufio.Reader
+	rng    *rand.Rand // jitter source, guarded by mu
 	m      Metrics
+
+	// Circuit breaker state, guarded by mu.
+	consecFails int       // consecutive transport failures
+	openUntil   time.Time // while in the future, the breaker is open
 }
 
 // Dial connects to the server at addr and announces the owner name.
@@ -53,10 +124,21 @@ func DialOptions(addr, owner string, opts Options) (*Client, error) {
 	if owner == "" {
 		return nil, fmt.Errorf("rmtp: owner name required")
 	}
-	if opts.Timeout < 0 || opts.Retries < 0 || opts.Backoff < 0 {
+	if opts.Timeout < 0 || opts.Retries < 0 || opts.Backoff < 0 ||
+		opts.RetryBudget < 0 || opts.BreakerThreshold < 0 || opts.BreakerCooldown < 0 {
 		return nil, fmt.Errorf("rmtp: negative option")
 	}
-	c := &Client{addr: addr, owner: owner, opts: opts}
+	if opts.Jitter < 0 || opts.Jitter > 1 {
+		return nil, fmt.Errorf("rmtp: jitter must be in [0,1]")
+	}
+	if opts.BreakerThreshold > 0 && opts.BreakerCooldown == 0 {
+		opts.BreakerCooldown = time.Second
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = rand.Int63()
+	}
+	c := &Client{addr: addr, owner: owner, opts: opts, rng: rand.New(rand.NewSource(seed))}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connectLocked(); err != nil {
@@ -67,6 +149,19 @@ func DialOptions(addr, owner string, opts Options) (*Client, error) {
 
 // Owner returns the announced owner name.
 func (c *Client) Owner() string { return c.owner }
+
+// ConnEpoch returns the client's connection generation: it increments every
+// time a (re)connection succeeds. Because frames on one TCP connection are
+// delivered in order, a request/reply exchange that succeeds at epoch E
+// confirms every one-way frame the client wrote earlier at epoch E; an epoch
+// change between a one-way write and a later exchange means the one-ways may
+// have died with the old connection. Resilient callers use this to decide
+// when a local shadow copy must stay authoritative.
+func (c *Client) ConnEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Connects
+}
 
 // Close tears down the connection and marks the client closed: subsequent
 // operations fail with ErrClosed instead of transparently reconnecting, and
@@ -119,6 +214,46 @@ func (c *Client) deadline() time.Time {
 	return time.Now().Add(c.opts.Timeout)
 }
 
+// breakerAllowLocked gates one operation through the circuit breaker.
+// Closed (healthy) and disabled breakers always allow. An open breaker
+// fails fast until its cooldown elapses, then admits a single half-open
+// probe — and immediately re-arms the cooldown so concurrent operations
+// keep failing fast until the probe's outcome is known.
+func (c *Client) breakerAllowLocked() error {
+	if c.opts.BreakerThreshold <= 0 || c.consecFails < c.opts.BreakerThreshold {
+		return nil
+	}
+	now := time.Now()
+	if now.Before(c.openUntil) {
+		c.m.BreakerFastFails++
+		return ErrCircuitOpen
+	}
+	// Half-open: admit this operation as the probe.
+	c.openUntil = now.Add(c.opts.BreakerCooldown)
+	return nil
+}
+
+// noteSuccessLocked records a successful exchange for the breaker.
+func (c *Client) noteSuccessLocked() {
+	c.consecFails = 0
+	c.openUntil = time.Time{}
+}
+
+// failLocked discards a connection after a transport error so the next
+// operation starts from a clean stream, and advances the breaker.
+func (c *Client) failLocked() {
+	c.m.Errors++
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.consecFails++
+	if c.opts.BreakerThreshold > 0 && c.consecFails == c.opts.BreakerThreshold {
+		c.m.BreakerTrips++
+		c.openUntil = time.Now().Add(c.opts.BreakerCooldown)
+	}
+}
+
 // ensureLocked reconnects if the connection is broken or was never made.
 // A closed client stays closed.
 func (c *Client) ensureLocked() error {
@@ -131,21 +266,17 @@ func (c *Client) ensureLocked() error {
 	return c.connectLocked()
 }
 
-// failLocked discards a connection after a transport error so the next
-// operation starts from a clean stream.
-func (c *Client) failLocked() {
-	c.m.Errors++
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
-}
-
 // send writes one frame (one-way).
 func (c *Client) send(op Op, line int32, payload []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.breakerAllowLocked(); err != nil {
+		return err
+	}
 	if err := c.ensureLocked(); err != nil {
+		if !errors.Is(err, ErrClosed) {
+			c.failLocked()
+		}
 		return err
 	}
 	if err := c.conn.SetDeadline(c.deadline()); err != nil {
@@ -160,6 +291,7 @@ func (c *Client) send(op Op, line int32, payload []byte) error {
 		c.failLocked()
 		return err
 	}
+	c.noteSuccessLocked()
 	c.m.Ops++
 	c.m.OneWay++
 	c.m.BytesSent += uint64(frameHeaderBytes + len(payload))
@@ -172,7 +304,13 @@ func (c *Client) send(op Op, line int32, payload []byte) error {
 // rather than reading a stale reply (silent corruption).
 func (c *Client) callLocked(op Op, line int32, payload []byte) (Op, []byte, error) {
 	start := time.Now()
+	if err := c.breakerAllowLocked(); err != nil {
+		return 0, nil, err
+	}
 	if err := c.ensureLocked(); err != nil {
+		if !errors.Is(err, ErrClosed) {
+			c.failLocked()
+		}
 		return 0, nil, err
 	}
 	if err := c.conn.SetDeadline(c.deadline()); err != nil {
@@ -196,6 +334,7 @@ func (c *Client) callLocked(op Op, line int32, payload []byte) (Op, []byte, erro
 		c.failLocked()
 		return 0, nil, fmt.Errorf("rmtp: reply for line %d, want %d (connection desynchronized, closed)", rline, line)
 	}
+	c.noteSuccessLocked()
 	c.observeCallLocked(start, len(payload), len(rpayload))
 	return rop, rpayload, nil
 }
@@ -207,17 +346,54 @@ func (c *Client) call(op Op, line int32, payload []byte) (Op, []byte, error) {
 	return c.callLocked(op, line, payload)
 }
 
+// backoffLocked returns the pause before retry `attempt` (1-based):
+// exponential doubling, shift-capped, with ±Jitter randomization so a fleet
+// of clients dropped by one server restart does not stampede back in
+// lockstep.
+func (c *Client) backoffLocked(attempt int) time.Duration {
+	if c.opts.Backoff <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16 // cap: past 65536x the base, doubling is meaningless
+	}
+	d := c.opts.Backoff << shift
+	if c.opts.Jitter > 0 {
+		span := int64(float64(d) * c.opts.Jitter)
+		if span > 0 {
+			d += time.Duration(c.rng.Int63n(2*span+1) - span)
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
 // callIdempotent retries a request/reply exchange on transport errors,
-// reconnecting between attempts with exponential backoff. Only safe for
-// operations whose duplicate execution is harmless. The lock is held per
+// reconnecting between attempts with jittered exponential backoff. Only safe
+// for operations whose duplicate execution is harmless. The lock is held per
 // attempt, never across a backoff sleep, so concurrent operations and
 // Close proceed while a retry sequence waits; Close ends the sequence at
-// its next attempt (ErrClosed).
+// its next attempt (ErrClosed). A configured RetryBudget bounds cumulative
+// retries across the client's lifetime; exhaustion surfaces *BudgetError.
 func (c *Client) callIdempotent(op Op, line int32, payload []byte) (Op, []byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
-		if attempt > 0 && c.opts.Backoff > 0 {
-			time.Sleep(c.opts.Backoff << (attempt - 1))
+		if attempt > 0 {
+			c.mu.Lock()
+			if c.opts.RetryBudget > 0 && c.m.Retries >= uint64(c.opts.RetryBudget) {
+				c.m.BudgetDenied++
+				spent := c.m.Retries
+				c.mu.Unlock()
+				return 0, nil, &BudgetError{Op: op, Spent: spent, Err: lastErr}
+			}
+			pause := c.backoffLocked(attempt)
+			c.mu.Unlock()
+			if pause > 0 {
+				time.Sleep(pause)
+			}
 		}
 		c.mu.Lock()
 		if attempt > 0 {
@@ -236,30 +412,62 @@ func (c *Client) callIdempotent(op Op, line int32, payload []byte) (Op, []byte, 
 	return 0, nil, lastErr
 }
 
-// Store ships a line's entries (one-way, pipelined).
+// Store ships a line's entries (one-way, pipelined). Delivery is not
+// confirmed: a server over capacity drops the line with only a server-side
+// log. Use StoreAck when the caller must know the line landed.
 func (c *Client) Store(line int32, entries []Entry) error {
 	return c.send(OpStore, line, EncodeEntries(entries))
 }
 
-// Fetch retrieves and releases a stored line. Retries transparently on
-// transport failure: a duplicate fetch of an already-released line surfaces
-// as a "not held" error rather than wrong data.
-//
-// Fetch is a destructive read. If the server executed the request but the
-// reply was lost (timeout mid-read), the server has already released the
-// line and the retry returns "not held": on this real-TCP path the entries
-// are gone — there is no shadow or disk fallback behind rmtp, unlike the
-// simulated pager. A caller that must survive a lost reply has to retain
-// its own copy until Fetch returns. See DESIGN.md §7, "Failure model".
+// StoreAck ships a line's entries and waits for the server's acceptance.
+// A server over its memory budget refuses with a capacity NACK, surfaced as
+// an error matching ErrCapacity, so the caller can divert the line to a
+// fallback tier instead of losing it. Retried (storing is idempotent: a
+// duplicate store replaces the same line).
+func (c *Client) StoreAck(line int32, entries []Entry) error {
+	op, payload, err := c.callIdempotent(OpStoreAck, line, EncodeEntries(entries))
+	if err != nil {
+		return err
+	}
+	if op == OpErr {
+		if strings.HasPrefix(string(payload), nackCapacityPrefix) {
+			return fmt.Errorf("rmtp: store line %d refused (%s): %w", line, payload, ErrCapacity)
+		}
+		return fmt.Errorf("rmtp: store line %d: %s", line, payload)
+	}
+	return nil
+}
+
+// Fetch retrieves a stored line with lease-then-delete semantics: the server
+// keeps the line (leased) until the client acknowledges receipt, so a reply
+// lost to a dead connection is NOT a lost line — the retried fetch serves
+// the same entries again. Only after the entries are safely in hand does the
+// client release the lease; a failed release leaves a stale leased copy on
+// the server (reclaimed when the line is next stored) rather than losing
+// data. This closes the destructive-read hazard of the original protocol
+// (DESIGN §7).
 func (c *Client) Fetch(line int32) ([]Entry, error) {
-	op, payload, err := c.callIdempotent(OpFetch, line, nil)
+	op, payload, err := c.callIdempotent(OpFetchHold, line, nil)
 	if err != nil {
 		return nil, err
 	}
 	if op == OpErr {
 		return nil, fmt.Errorf("rmtp: fetch line %d: %s", line, payload)
 	}
-	return DecodeEntries(payload)
+	entries, err := DecodeEntries(payload)
+	if err != nil {
+		return nil, err
+	}
+	// Ack: the entries are safe locally, delete the server's copy. Release
+	// failure is not the caller's problem — the data is already here — but
+	// it is counted, since leaked leases consume server capacity until the
+	// line is re-stored.
+	if _, _, rerr := c.callIdempotent(OpRelease, line, nil); rerr != nil {
+		c.mu.Lock()
+		c.m.ReleaseFailures++
+		c.mu.Unlock()
+	}
+	return entries, nil
 }
 
 // Update applies a one-way count increment for key at a stored line.

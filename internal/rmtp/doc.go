@@ -19,8 +19,20 @@
 //
 //   - Server: holds lines under a capacity, serves all ops, and reports
 //     Stats (stores/fetches/updates/migrations) and Occupancy.
+//     ServerOptions arm overload protection: a session cap (MaxConns),
+//     per-connection read deadlines (IdleTimeout), and a frame payload cap
+//     (MaxFrameBytes) that rejects oversized lengths before allocation.
+//     An acked store (OpStoreAck) over the memory budget draws a capacity
+//     NACK (ErrCapacity at the client) instead of a silent drop.
 //   - Client: one connection with reconnect-and-retry for idempotent ops;
-//     Store/Fetch/Update/Migrate/Stat mirror the wire ops.
+//     Store/StoreAck/Fetch/Update/Migrate/Stat mirror the wire ops. Fetch
+//     uses lease-then-delete (OpFetchHold + OpRelease): the server keeps a
+//     served line until the client acks receipt, so a reply lost to a dead
+//     connection never loses the line. Options add per-op deadlines,
+//     jittered exponential backoff, a cumulative retry budget
+//     (*BudgetError / ErrRetryBudget), and a per-server circuit breaker
+//     that fails fast with ErrCircuitOpen after BreakerThreshold
+//     consecutive failures, probing half-open after BreakerCooldown.
 //   - Metrics: the client's cumulative transport counters — ops, retries,
 //     connects, errors, bytes each way, and a power-of-two latency
 //     histogram (trace.Histogram) over real (wall-clock) round-trip times.

@@ -14,15 +14,19 @@ const frameHeaderBytes = 9
 // layer's virtual-time trace, these measure real wall-clock TCP behaviour;
 // the latency histogram is in real nanoseconds.
 type Metrics struct {
-	Ops       uint64          // operations attempted (one-way + calls)
-	OneWay    uint64          // one-way frames shipped (Store, Update)
-	Calls     uint64          // request/reply exchanges completed
-	Retries   uint64          // re-issued idempotent attempts
-	Connects  uint64          // successful connections (first dial included)
-	Errors    uint64          // transport failures observed
-	BytesSent uint64          // frames written, headers included
-	BytesRecv uint64          // reply frames read, headers included
-	Latency   trace.Histogram // per-exchange round-trip latency
+	Ops              uint64          // operations attempted (one-way + calls)
+	OneWay           uint64          // one-way frames shipped (Store, Update)
+	Calls            uint64          // request/reply exchanges completed
+	Retries          uint64          // re-issued idempotent attempts
+	Connects         uint64          // successful connections (first dial included)
+	Errors           uint64          // transport failures observed
+	BreakerTrips     uint64          // breaker transitions closed -> open
+	BreakerFastFails uint64          // operations refused while the breaker was open
+	BudgetDenied     uint64          // retry sequences cut short by the retry budget
+	ReleaseFailures  uint64          // fetch acks that failed (lease left on the server)
+	BytesSent        uint64          // frames written, headers included
+	BytesRecv        uint64          // reply frames read, headers included
+	Latency          trace.Histogram // per-exchange round-trip latency
 }
 
 // Snapshot renders the counters as an ordered trace.Snapshot for attaching
@@ -37,6 +41,10 @@ func (m Metrics) Snapshot(name string) trace.Snapshot {
 			{Name: "retries", Value: float64(m.Retries)},
 			{Name: "connects", Value: float64(m.Connects)},
 			{Name: "errors", Value: float64(m.Errors)},
+			{Name: "breaker_trips", Value: float64(m.BreakerTrips)},
+			{Name: "breaker_fast_fails", Value: float64(m.BreakerFastFails)},
+			{Name: "budget_denied", Value: float64(m.BudgetDenied)},
+			{Name: "release_failures", Value: float64(m.ReleaseFailures)},
 			{Name: "bytes_sent", Value: float64(m.BytesSent)},
 			{Name: "bytes_recv", Value: float64(m.BytesRecv)},
 			{Name: "latency_mean_ns", Value: m.Latency.Mean()},
@@ -57,15 +65,23 @@ func (c *Client) Metrics() Metrics {
 // current occupancy, wire bytes each way (headers included), and a
 // power-of-two histogram of per-request wall-clock service time.
 type ServerMetrics struct {
-	Stores    uint64
-	Fetches   uint64
-	Updates   uint64
-	Migrated  uint64
-	HeldLines int64
-	HeldBytes int64
-	BytesRecv uint64
-	BytesSent uint64
-	Latency   trace.Histogram
+	Stores        uint64
+	Fetches       uint64
+	Updates       uint64
+	Migrated      uint64
+	Releases      uint64 // leased lines deleted on the owner's ack
+	HeldLines     int64
+	LeasedLines   int64 // held lines currently awaiting their owner's release
+	HeldBytes     int64
+	ActiveConns   int64  // live client sessions
+	ConnsRejected uint64 // connections refused over MaxConns
+	FrameErrors   uint64 // frames rejected by the payload cap
+	Nacks         uint64 // acked stores refused over capacity
+	OverloadDrops uint64 // one-way stores dropped over capacity
+	IdleDrops     uint64 // sessions closed by IdleTimeout
+	BytesRecv     uint64
+	BytesSent     uint64
+	Latency       trace.Histogram
 }
 
 // Metrics returns a copy of the server's counters.
@@ -73,15 +89,23 @@ func (s *Server) Metrics() ServerMetrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ServerMetrics{
-		Stores:    s.stores,
-		Fetches:   s.fetches,
-		Updates:   s.updates,
-		Migrated:  s.migrated,
-		HeldLines: int64(len(s.lines)),
-		HeldBytes: s.used,
-		BytesRecv: s.bytesRecv,
-		BytesSent: s.bytesSent,
-		Latency:   s.latency,
+		Stores:        s.stores,
+		Fetches:       s.fetches,
+		Updates:       s.updates,
+		Migrated:      s.migrated,
+		Releases:      s.releases,
+		HeldLines:     int64(len(s.lines)),
+		LeasedLines:   int64(len(s.leased)),
+		HeldBytes:     s.used,
+		ActiveConns:   int64(len(s.conns)),
+		ConnsRejected: s.connsRejected,
+		FrameErrors:   s.frameErrors,
+		Nacks:         s.nacks,
+		OverloadDrops: s.overloadDrops,
+		IdleDrops:     s.idleDrops,
+		BytesRecv:     s.bytesRecv,
+		BytesSent:     s.bytesSent,
+		Latency:       s.latency,
 	}
 }
 
@@ -96,8 +120,16 @@ func (m ServerMetrics) Snapshot(name string) trace.Snapshot {
 			{Name: "fetches", Value: float64(m.Fetches)},
 			{Name: "updates", Value: float64(m.Updates)},
 			{Name: "migrated", Value: float64(m.Migrated)},
+			{Name: "releases", Value: float64(m.Releases)},
 			{Name: "held_lines", Value: float64(m.HeldLines)},
+			{Name: "leased_lines", Value: float64(m.LeasedLines)},
 			{Name: "held_bytes", Value: float64(m.HeldBytes)},
+			{Name: "active_conns", Value: float64(m.ActiveConns)},
+			{Name: "conns_rejected", Value: float64(m.ConnsRejected)},
+			{Name: "frame_errors", Value: float64(m.FrameErrors)},
+			{Name: "nacks", Value: float64(m.Nacks)},
+			{Name: "overload_drops", Value: float64(m.OverloadDrops)},
+			{Name: "idle_drops", Value: float64(m.IdleDrops)},
 			{Name: "bytes_recv", Value: float64(m.BytesRecv)},
 			{Name: "bytes_sent", Value: float64(m.BytesSent)},
 			{Name: "requests", Value: float64(m.Latency.Count)},

@@ -1,6 +1,8 @@
 package rmtp
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -66,5 +68,96 @@ func TestServerMetricsLoopback(t *testing.T) {
 	}
 	if vars["stores"] != 1 || vars["requests"] != float64(m.Latency.Count) {
 		t.Fatalf("snapshot values = %v", vars)
+	}
+}
+
+// TestServerMetricsConcurrentTraffic hammers one server from several client
+// goroutines while other goroutines continuously snapshot Server.Metrics and
+// Client.Metrics. Run under -race this is the locking regression test for
+// the counters rmserverd publishes over expvar; the totals must also add up
+// exactly once the traffic drains.
+func TestServerMetricsConcurrentTraffic(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	s := startServer(t, 0)
+	clients := make([]*Client, workers)
+	for i := range clients {
+		clients[i] = dial(t, s, fmt.Sprintf("worker-%d", i))
+	}
+
+	stop := make(chan struct{})
+	var snapshots sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		snapshots.Add(1)
+		go func() {
+			defer snapshots.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := s.Metrics()
+				if m.HeldLines < 0 || m.HeldBytes < 0 || m.ActiveConns < 0 {
+					t.Error("negative gauge in concurrent snapshot")
+					return
+				}
+				_ = m.Snapshot("store").Map()
+				for _, c := range clients {
+					_ = c.Metrics().Snapshot("client").Map()
+				}
+			}
+		}()
+	}
+
+	var traffic sync.WaitGroup
+	for w, c := range clients {
+		traffic.Add(1)
+		go func(w int, c *Client) {
+			defer traffic.Done()
+			for r := 0; r < rounds; r++ {
+				line := int32(r)
+				if err := c.StoreAck(line, entriesN(3)); err != nil {
+					t.Errorf("worker %d store %d: %v", w, r, err)
+					return
+				}
+				if err := c.Update(line, "key-001"); err != nil {
+					t.Errorf("worker %d update %d: %v", w, r, err)
+					return
+				}
+				got, err := c.Fetch(line)
+				if err != nil {
+					t.Errorf("worker %d fetch %d: %v", w, r, err)
+					return
+				}
+				if len(got) != 3 || got[1].Count != 2 {
+					t.Errorf("worker %d round %d: entries %v", w, r, got)
+					return
+				}
+				if _, err := c.Stat(); err != nil {
+					t.Errorf("worker %d stat %d: %v", w, r, err)
+					return
+				}
+			}
+		}(w, c)
+	}
+	traffic.Wait()
+	close(stop)
+	snapshots.Wait()
+
+	m := s.Metrics()
+	want := uint64(workers * rounds)
+	if m.Stores != want || m.Fetches != want || m.Updates != want || m.Releases != want {
+		t.Errorf("totals = %d stores / %d fetches / %d updates / %d releases, want %d each",
+			m.Stores, m.Fetches, m.Updates, m.Releases, want)
+	}
+	if m.HeldLines != 0 || m.HeldBytes != 0 || m.LeasedLines != 0 {
+		t.Errorf("store not drained: %d lines / %d bytes / %d leased",
+			m.HeldLines, m.HeldBytes, m.LeasedLines)
+	}
+	if m.ActiveConns != int64(workers) {
+		t.Errorf("ActiveConns = %d, want %d", m.ActiveConns, workers)
 	}
 }

@@ -12,14 +12,28 @@ type Op uint8
 
 // Protocol operations.
 const (
-	OpHello   Op = 1  // payload: owner name
-	OpStore   Op = 2  // payload: entries (one-way)
-	OpFetch   Op = 3  // payload: empty; reply OpOK entries or OpErr
-	OpUpdate  Op = 4  // payload: key (one-way)
-	OpMigrate Op = 5  // payload: dest address + line list; reply OpOK moved list
-	OpStat    Op = 6  // payload: empty; reply OpOK stats
-	OpOK      Op = 16 // reply payload depends on request
-	OpErr     Op = 17 // reply payload: error message
+	OpHello   Op = 1 // payload: owner name
+	OpStore   Op = 2 // payload: entries (one-way)
+	OpFetch   Op = 3 // payload: empty; reply OpOK entries or OpErr (destructive)
+	OpUpdate  Op = 4 // payload: key (one-way)
+	OpMigrate Op = 5 // payload: dest address + line list; reply OpOK moved list
+	OpStat    Op = 6 // payload: empty; reply OpOK stats
+	// OpFetchHold is a non-destructive fetch: the server replies with the
+	// line's entries but keeps them, marking the line leased, until the
+	// client acknowledges receipt with OpRelease. Re-issuing a hold for an
+	// already-leased line serves the same entries again, which is what makes
+	// a retried fetch safe when the reply (not the request) was lost.
+	OpFetchHold Op = 7 // payload: empty; reply OpOK entries or OpErr
+	// OpRelease acknowledges a held fetch: the server deletes the leased
+	// copy. Idempotent — releasing a line that is not held is OpOK too.
+	OpRelease Op = 8 // payload: empty; reply OpOK
+	// OpStoreAck is OpStore with a reply: OpOK on acceptance, or an OpErr
+	// capacity NACK when the store would exceed the server's memory budget,
+	// so the client can divert to a fallback tier instead of silently losing
+	// the line.
+	OpStoreAck Op = 9  // payload: entries; reply OpOK or OpErr
+	OpOK       Op = 16 // reply payload depends on request
+	OpErr      Op = 17 // reply payload: error message
 )
 
 // Entry mirrors memtable.Entry on the wire.
@@ -29,13 +43,23 @@ type Entry struct {
 }
 
 // maxFrame bounds a frame payload to keep a malformed peer from forcing a
-// huge allocation.
+// huge allocation. MaxFrame is the exported protocol ceiling; servers may
+// enforce a lower per-instance cap (ServerOptions.MaxFrameBytes).
 const maxFrame = 16 << 20
+
+// MaxFrame is the protocol-wide frame payload ceiling in bytes.
+const MaxFrame = maxFrame
+
+// ErrFrameTooLarge marks a frame whose declared payload length exceeds the
+// reader's cap. The length field is unsigned on the wire, so a "negative"
+// 32-bit length arrives as a huge value and is rejected by the same check —
+// before any allocation happens.
+var ErrFrameTooLarge = errors.New("rmtp: frame payload exceeds limit")
 
 // WriteFrame writes one frame.
 func WriteFrame(w io.Writer, op Op, line int32, payload []byte) error {
 	if len(payload) > maxFrame {
-		return fmt.Errorf("rmtp: frame payload %d exceeds limit", len(payload))
+		return fmt.Errorf("rmtp: frame payload %d: %w", len(payload), ErrFrameTooLarge)
 	}
 	var hdr [9]byte
 	hdr[0] = byte(op)
@@ -48,8 +72,18 @@ func WriteFrame(w io.Writer, op Op, line int32, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame, capping the payload at the protocol ceiling.
 func ReadFrame(r io.Reader) (op Op, line int32, payload []byte, err error) {
+	return ReadFrameMax(r, maxFrame)
+}
+
+// ReadFrameMax reads one frame, rejecting payloads larger than max bytes
+// with ErrFrameTooLarge before allocating. max values outside (0, MaxFrame]
+// fall back to the protocol ceiling.
+func ReadFrameMax(r io.Reader, max int) (op Op, line int32, payload []byte, err error) {
+	if max <= 0 || max > maxFrame {
+		max = maxFrame
+	}
 	var hdr [9]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
@@ -57,8 +91,8 @@ func ReadFrame(r io.Reader) (op Op, line int32, payload []byte, err error) {
 	op = Op(hdr[0])
 	line = int32(binary.BigEndian.Uint32(hdr[1:5]))
 	n := binary.BigEndian.Uint32(hdr[5:9])
-	if n > maxFrame {
-		return 0, 0, nil, fmt.Errorf("rmtp: frame payload %d exceeds limit", n)
+	if n > uint32(max) {
+		return 0, 0, nil, fmt.Errorf("rmtp: frame payload %d over cap %d: %w", n, max, ErrFrameTooLarge)
 	}
 	payload = make([]byte, n)
 	if _, err = io.ReadFull(r, payload); err != nil {

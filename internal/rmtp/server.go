@@ -19,16 +19,40 @@ type ownerLine struct {
 	line  int32
 }
 
+// ServerOptions configure server-side overload protection. The zero value
+// reproduces the original trusting behavior: unlimited connections, no read
+// deadlines, protocol-ceiling frames.
+type ServerOptions struct {
+	// MaxConns caps concurrent client sessions. Over the cap, a new
+	// connection is refused with an OpErr frame ("connection capacity") and
+	// closed instead of being accepted and starving the rest. Zero is
+	// unlimited.
+	MaxConns int
+	// IdleTimeout bounds the wait for each frame on an established session.
+	// A session silent past it is closed, reclaiming the handler goroutine
+	// and fd from half-open peers and slow-loris clients. Clients reconnect
+	// transparently on their next operation. Zero waits forever.
+	IdleTimeout time.Duration
+	// MaxFrameBytes caps accepted frame payloads below the protocol ceiling
+	// (MaxFrame). An oversized frame draws an OpErr protocol error and the
+	// session is closed — the declared length is rejected before any
+	// allocation. Zero means the protocol ceiling.
+	MaxFrameBytes int
+}
+
 // Server is a remote-memory store reachable over TCP. Lines are namespaced
-// by the owner name announced in OpHello; a fetch releases the stored copy,
-// an update increments a key's count in place, and a migrate pushes lines to
-// another server and leaves a forwarding note.
+// by the owner name announced in OpHello; a fetch-hold serves the stored
+// copy and leases it until the owner's release deletes it (a legacy OpFetch
+// releases immediately), an update increments a key's count in place, and a
+// migrate pushes lines to another server and leaves a forwarding note.
 type Server struct {
 	mu       sync.Mutex
 	lines    map[ownerLine][]Entry
+	leased   map[ownerLine]bool   // served to the owner, awaiting release
 	forward  map[ownerLine]string // address lines migrated to
 	capacity int64
 	used     int64
+	opts     ServerOptions
 
 	ln     net.Listener
 	logf   func(string, ...any)
@@ -37,17 +61,30 @@ type Server struct {
 	conns  map[net.Conn]struct{} // live sessions, closed on shutdown
 
 	stores, fetches, updates, migrated uint64
+	releases                           uint64
+	connsRejected                      uint64 // refused over MaxConns
+	frameErrors                        uint64 // oversized/garbled frames
+	nacks                              uint64 // capacity NACKs (OpStoreAck)
+	overloadDrops                      uint64 // one-way stores dropped over capacity
+	idleDrops                          uint64 // sessions closed by IdleTimeout
 	bytesRecv, bytesSent               uint64
 	latency                            trace.Histogram // per-request service time
 }
 
 // NewServer creates a server with the given capacity in bytes (0 =
-// unlimited).
+// unlimited) and no overload protection.
 func NewServer(capacity int64) *Server {
+	return NewServerOptions(capacity, ServerOptions{})
+}
+
+// NewServerOptions creates a server with explicit overload protection.
+func NewServerOptions(capacity int64, opts ServerOptions) *Server {
 	return &Server{
 		lines:    make(map[ownerLine][]Entry),
+		leased:   make(map[ownerLine]bool),
 		forward:  make(map[ownerLine]string),
 		capacity: capacity,
+		opts:     opts,
 		logf:     func(string, ...any) {},
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -126,11 +163,20 @@ func (s *Server) Stats() (stores, fetches, updates, migrated uint64) {
 	return s.stores, s.fetches, s.updates, s.migrated
 }
 
-// Occupancy returns current line and byte counts.
+// Occupancy returns current line and byte counts (leased lines included —
+// they are held until released).
 func (s *Server) Occupancy() Stat {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stat{Lines: int64(len(s.lines)), Bytes: s.used}
+}
+
+// maxFrameBytes returns the effective per-frame payload cap.
+func (s *Server) maxFrameBytes() int {
+	if s.opts.MaxFrameBytes > 0 {
+		return s.opts.MaxFrameBytes
+	}
+	return maxFrame
 }
 
 func (s *Server) acceptLoop() {
@@ -152,6 +198,18 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.connsRejected++
+			s.mu.Unlock()
+			// Refuse in-band, then close: the next call on this session
+			// surfaces the error instead of an opaque EOF. Best-effort —
+			// the refused peer may already be gone.
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			WriteFrame(conn, OpErr, 0, []byte("connection capacity: server at its session cap"))
+			conn.Close()
+			s.logf("rmtp server: refusing connection %s: at session cap %d", conn.RemoteAddr(), s.opts.MaxConns)
+			continue
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -169,8 +227,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	owner := ""
 	for {
-		op, line, payload, err := ReadFrame(conn)
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		op, line, payload, err := ReadFrameMax(conn, s.maxFrameBytes())
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				s.mu.Lock()
+				s.frameErrors++
+				s.mu.Unlock()
+				s.reply(conn, OpErr, line, []byte(fmt.Sprintf("protocol: frame payload over %d-byte cap", s.maxFrameBytes())))
+				s.logf("rmtp server: %s: %v", conn.RemoteAddr(), err)
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				s.mu.Lock()
+				s.idleDrops++
+				s.mu.Unlock()
+				s.logf("rmtp server: %s: idle past %s, closing", conn.RemoteAddr(), s.opts.IdleTimeout)
+			}
 			return // EOF or broken peer ends the session
 		}
 		start := time.Now()
@@ -213,6 +289,19 @@ func (s *Server) reply(conn net.Conn, op Op, line int32, payload []byte) error {
 	return WriteFrame(conn, op, line, payload)
 }
 
+// storeLocked replaces the line's entries, adjusting accounting. Caller
+// holds s.mu and has already checked capacity.
+func (s *Server) storeLocked(key ownerLine, entries []Entry, need int64) {
+	if old, ok := s.lines[key]; ok {
+		s.used -= int64(len(old)) * entryMemBytes
+	}
+	s.lines[key] = entries
+	s.used += need
+	delete(s.forward, key)
+	delete(s.leased, key) // a re-store supersedes any stale lease
+	s.stores++
+}
+
 func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload []byte) error {
 	key := ownerLine{owner, line}
 	switch op {
@@ -224,28 +313,48 @@ func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload 
 		s.mu.Lock()
 		need := int64(len(entries)) * entryMemBytes
 		if s.capacity > 0 && s.used+need > s.capacity {
+			s.overloadDrops++
 			s.mu.Unlock()
-			// A one-way op cannot be refused in-band; log and drop. The
-			// simulated layer avoids this by monitoring availability.
-			s.logf("rmtp server: capacity exceeded storing line %d of %s", line, owner)
+			// A one-way op cannot be refused in-band; log and drop. Callers
+			// that must not lose lines use OpStoreAck and get a NACK.
+			s.logf("rmtp server: capacity exceeded storing line %d of %s (one-way store dropped)", line, owner)
 			return nil
 		}
-		if old, ok := s.lines[key]; ok {
-			s.used -= int64(len(old)) * entryMemBytes
-		}
-		s.lines[key] = entries
-		s.used += need
-		delete(s.forward, key)
-		s.stores++
+		s.storeLocked(key, entries, need)
 		s.mu.Unlock()
 		return nil
 
+	case OpStoreAck:
+		entries, err := DecodeEntries(payload)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		need := int64(len(entries)) * entryMemBytes
+		// A replacing store only grows usage by the delta.
+		delta := need
+		if old, ok := s.lines[key]; ok {
+			delta -= int64(len(old)) * entryMemBytes
+		}
+		if s.capacity > 0 && s.used+delta > s.capacity {
+			s.nacks++
+			free := s.capacity - s.used
+			s.mu.Unlock()
+			return s.reply(conn, OpErr, line, []byte(fmt.Sprintf(
+				"%s need %d bytes, %d free", nackCapacityPrefix, need, free)))
+		}
+		s.storeLocked(key, entries, need)
+		s.mu.Unlock()
+		return s.reply(conn, OpOK, line, nil)
+
 	case OpFetch:
+		// Legacy destructive read: serve and release in one step.
 		s.mu.Lock()
 		entries, ok := s.lines[key]
 		fwd, hasFwd := s.forward[key]
 		if ok {
 			delete(s.lines, key)
+			delete(s.leased, key)
 			s.used -= int64(len(entries)) * entryMemBytes
 			s.fetches++
 		}
@@ -257,6 +366,38 @@ func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload 
 			return s.reply(conn, OpErr, line, []byte("not held"))
 		}
 		return s.reply(conn, OpOK, line, EncodeEntries(entries))
+
+	case OpFetchHold:
+		// Lease-then-delete read: serve but keep the line until the owner's
+		// release, so a lost reply is recoverable by fetching again.
+		s.mu.Lock()
+		entries, ok := s.lines[key]
+		fwd, hasFwd := s.forward[key]
+		if ok {
+			s.leased[key] = true
+			s.fetches++
+		}
+		s.mu.Unlock()
+		if !ok {
+			if hasFwd {
+				return s.reply(conn, OpErr, line, []byte("moved to "+fwd))
+			}
+			return s.reply(conn, OpErr, line, []byte("not held"))
+		}
+		return s.reply(conn, OpOK, line, EncodeEntries(entries))
+
+	case OpRelease:
+		s.mu.Lock()
+		if entries, ok := s.lines[key]; ok {
+			delete(s.lines, key)
+			delete(s.leased, key)
+			s.used -= int64(len(entries)) * entryMemBytes
+			s.releases++
+		}
+		s.mu.Unlock()
+		// Idempotent: releasing an absent line is OK, so a retried release
+		// after a lost reply does not error.
+		return s.reply(conn, OpOK, line, nil)
 
 	case OpUpdate:
 		k, _, err := DecodeString(payload)
@@ -299,7 +440,9 @@ func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload 
 	}
 }
 
-// migrate pushes the owner's listed lines to the destination server.
+// migrate pushes the owner's listed lines to the destination server. Leased
+// lines are skipped: the owner has already fetched them, and moving the
+// leased copy would hand the destination a line its owner believes released.
 func (s *Server) migrate(owner, dest string, lines []int32) ([]int32, error) {
 	if dest == "" {
 		return nil, errors.New("empty migration destination")
@@ -314,6 +457,9 @@ func (s *Server) migrate(owner, dest string, lines []int32) ([]int32, error) {
 		key := ownerLine{owner, line}
 		s.mu.Lock()
 		entries, ok := s.lines[key]
+		if s.leased[key] {
+			ok = false
+		}
 		s.mu.Unlock()
 		if !ok {
 			continue

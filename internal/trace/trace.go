@@ -32,6 +32,7 @@ const (
 	KDiskWrite                // swap-disk write
 	KSend                     // network transmit (NIC occupancy)
 	KDrop                     // message discarded by the fault layer
+	KChaos                    // fault-schedule step applied by the chaos harness
 	numKinds
 )
 
@@ -40,7 +41,7 @@ var kindNames = [numKinds]string{
 	"store-service", "fetch-service", "update-apply",
 	"migrate-cmd", "migrate-batch", "migrate-done",
 	"fault-detect", "recover", "report",
-	"disk-read", "disk-write", "send", "drop",
+	"disk-read", "disk-write", "send", "drop", "chaos",
 }
 
 // String returns the kind's stable lower-case name (used in exports).
