@@ -40,3 +40,7 @@ func BenchmarkPublicAPIQuickstart(b *testing.B) { perf.BenchPublicAPIQuickstart(
 
 // Real-TCP loopback analogue of the paper's ≈2 ms ATM pagefault.
 func BenchmarkRMTPStoreFetchLoopback(b *testing.B) { perf.BenchRMTPStoreFetchLoopback(b) }
+
+// Same round trip through the miner's actual TCP swap backend (shadow
+// copies, verified lease-then-delete fetches, failover rotation).
+func BenchmarkTCPPagerSwapLoopback(b *testing.B) { perf.BenchTCPPagerSwapLoopback(b) }

@@ -1,8 +1,10 @@
-// Real-socket remote memory: start two rmtp servers on loopback (two
-// memory-available nodes), spill a candidate hash table's lines to the
-// first over TCP, count with remote update operations, migrate everything
-// to the second server mid-run, and collect the final counts — the paper's
-// whole mechanism on actual sockets instead of the simulator.
+// Real-socket remote memory through the miner's own swap backend: start two
+// rmtp servers on loopback (two memory-available nodes), spill a candidate
+// hash table's lines to them over TCP via remotemem.TCPPager — the same
+// pager cmd/hpaminer -transport=tcp swaps through — count with remote
+// update operations, migrate one node's lines to the other mid-run, and
+// collect the final counts. Every fetch is verified against the pager's
+// shadow copy, so "exact" at the end is proven, not assumed.
 //
 //	go run ./examples/tcpswap
 package main
@@ -12,7 +14,10 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/internal/memtable"
+	"repro/internal/remotemem"
 	"repro/internal/rmtp"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -27,31 +32,31 @@ func main() {
 	}
 	fmt.Printf("memory-available nodes: %s and %s\n", srvA.Addr(), srvB.Addr())
 
-	cl, err := rmtp.Dial(srvA.Addr(), "app-node-0")
+	// One pager = one application node's view of the whole fleet. Store-outs
+	// rotate across the servers; every line keeps a client-side shadow.
+	pager, err := remotemem.NewTCPPager("app-node-0", []string{srvA.Addr(), srvB.Addr()}, rmtp.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cl.Close()
+	defer pager.Close()
+	p := transport.NewRealProc()
 
-	// Build 1,000 hash lines of candidate pairs and swap them all out: this
-	// application node keeps no local copy.
+	// Build 1,000 hash lines of candidate pairs and swap them all out.
 	const lines = 1000
 	const perLine = 6
 	key := func(line, i int) string { return fmt.Sprintf("pair-%04d-%d", line, i) }
+	locs := make([]memtable.Location, lines)
 	for line := 0; line < lines; line++ {
-		entries := make([]rmtp.Entry, perLine)
+		entries := make([]memtable.Entry, perLine)
 		for i := range entries {
-			entries[i] = rmtp.Entry{Key: key(line, i)}
+			entries[i] = memtable.Entry{Key: key(line, i)}
 		}
-		if err := cl.Store(int32(line), entries); err != nil {
+		if locs[line], err = pager.StoreOut(p, line, entries); err != nil {
 			log.Fatal(err)
 		}
 	}
-	st, err := cl.Stat()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("swapped out %d lines (%d KB) to node A\n", st.Lines, st.Bytes>>10)
+	occA, occB := srvA.Occupancy(), srvB.Occupancy()
+	fmt.Printf("swapped out %d lines: %d to node A, %d to node B\n", lines, occA.Lines, occB.Lines)
 
 	// Counting phase with remote update operations: stream increments.
 	rng := rand.New(rand.NewSource(1))
@@ -60,34 +65,26 @@ func main() {
 	for u := 0; u < updates; u++ {
 		line := rng.Intn(lines)
 		k := key(line, rng.Intn(perLine))
-		if err := cl.Update(int32(line), k); err != nil {
+		if err := pager.Update(p, line, locs[line], k); err != nil {
 			log.Fatal(err)
 		}
 		oracle[k]++
 		if u == updates/2 {
-			// Node A withdraws mid-count: migrate everything to node B.
-			all := make([]int32, lines)
-			for i := range all {
-				all[i] = int32(i)
-			}
-			moved, err := cl.Migrate(srvB.Addr(), all)
+			// Node A withdraws mid-count: push its lines to node B. The
+			// pager retargets them; no reconnect, no lost increments.
+			moved, err := pager.MigrateAll(0, 1)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("node A withdrew after %d updates; migrated %d lines to node B\n", u+1, len(moved))
-			// Reconnect the pager to the new holder.
-			cl.Close()
-			if cl, err = rmtp.Dial(srvB.Addr(), "app-node-0"); err != nil {
-				log.Fatal(err)
-			}
-			defer cl.Close()
 		}
 	}
 
-	// Collect: fetch every line back and verify against the oracle.
+	// Collect: fetch every line back (lease-then-delete on the wire, each
+	// reply verified against the shadow copy) and check the oracle.
 	bad := 0
 	for line := 0; line < lines; line++ {
-		entries, err := cl.Fetch(int32(line))
+		entries, err := pager.FetchIn(p, line, locs[line])
 		if err != nil {
 			log.Fatalf("collect line %d: %v", line, err)
 		}
@@ -97,10 +94,13 @@ func main() {
 			}
 		}
 	}
-	occA, occB := srvA.Occupancy(), srvB.Occupancy()
+	st := pager.Stats()
+	occA, occB = srvA.Occupancy(), srvB.Occupancy()
 	fmt.Printf("collected %d lines; count mismatches: %d\n", lines, bad)
+	fmt.Printf("pager: %d stores, %d updates, %d fetches (%d verified, %d shadow divergences), %d migrated\n",
+		st.Stores, st.Updates, st.Fetches, st.VerifiedFetches, st.Mismatches, st.Migrated)
 	fmt.Printf("final occupancy: node A %d lines, node B %d lines\n", occA.Lines, occB.Lines)
-	if bad == 0 {
-		fmt.Println("every remotely accumulated count survived the migration — exact.")
+	if bad == 0 && st.Mismatches == 0 {
+		fmt.Println("every remotely accumulated count survived the migration — exact, and shadow-verified.")
 	}
 }

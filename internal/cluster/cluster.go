@@ -1,18 +1,16 @@
-// Package cluster lays out the simulated PC cluster: which nodes execute the
-// application and which are memory-available nodes, the well-known ports the
-// protocols run over, and small coordination helpers (central barrier,
-// all-to-all gather) used by the parallel mining phases.
+// Package cluster lays out the PC cluster: which nodes execute the
+// application and which are memory-available nodes, and the well-known ports
+// the protocols run over.
 //
 // In the paper's pilot system all processes are connected to each other by
-// TLI transport endpoints "thus forming a mesh topology"; here the mesh is
-// the simnet star with per-(node,port) inboxes.
+// TLI transport endpoints "thus forming a mesh topology"; the fabric itself
+// (simulated star or real TCP mesh) lives behind the transport package's
+// Endpoint interface, and the barrier/gather coordination helpers live in
+// transport.Coordinator.
 package cluster
 
 import (
 	"fmt"
-
-	"repro/internal/sim"
-	"repro/internal/simnet"
 )
 
 // Well-known ports.
@@ -72,114 +70,3 @@ func (l Layout) MemIDs() []int {
 
 // IsApp reports whether node id is an application node.
 func (l Layout) IsApp(id int) bool { return id >= 0 && id < l.AppNodes }
-
-// control messages
-
-type barrierArrive struct {
-	Epoch int
-	From  int
-}
-
-type barrierRelease struct {
-	Epoch int
-}
-
-type gatherMsg struct {
-	Epoch   int
-	From    int
-	Payload any
-}
-
-const ctrlMsgBytes = 32
-
-// Coordinator mediates barriers and gathers among the application nodes.
-// Node 0 acts as the central coordinator, as a designated process would on
-// the real cluster. All application nodes must call the same sequence of
-// Barrier/GatherAll operations with strictly increasing epochs; messages for
-// a later epoch arriving early (nodes run ahead) are buffered per node.
-type Coordinator struct {
-	nw      *simnet.Network
-	layout  Layout
-	pending [][]any // per app node: control payloads not yet consumed
-}
-
-// NewCoordinator creates a coordinator for the layout.
-func NewCoordinator(nw *simnet.Network, layout Layout) *Coordinator {
-	return &Coordinator{nw: nw, layout: layout, pending: make([][]any, layout.AppNodes)}
-}
-
-// recvMatching returns the first buffered or newly received control payload
-// on node self for which match returns true, buffering everything else.
-func (c *Coordinator) recvMatching(p *sim.Proc, self int, match func(any) bool) any {
-	for i, pl := range c.pending[self] {
-		if match(pl) {
-			c.pending[self] = append(c.pending[self][:i], c.pending[self][i+1:]...)
-			return pl
-		}
-	}
-	inbox := c.nw.Inbox(self, PortCtrl)
-	for {
-		m := inbox.Recv(p)
-		if match(m.Payload) {
-			return m.Payload
-		}
-		c.pending[self] = append(c.pending[self], m.Payload)
-	}
-}
-
-// Barrier blocks until every application node has arrived at the same epoch.
-// The caller runs on node `self`.
-func (c *Coordinator) Barrier(p *sim.Proc, self, epoch int) {
-	n := c.layout.AppNodes
-	if n == 1 {
-		return
-	}
-	if self == 0 {
-		for seen := 0; seen < n-1; seen++ {
-			c.recvMatching(p, 0, func(pl any) bool {
-				arr, ok := pl.(barrierArrive)
-				return ok && arr.Epoch == epoch
-			})
-		}
-		for to := 1; to < n; to++ {
-			c.nw.Send(p, 0, to, PortCtrl, barrierRelease{Epoch: epoch}, ctrlMsgBytes)
-		}
-		return
-	}
-	c.nw.Send(p, self, 0, PortCtrl, barrierArrive{Epoch: epoch, From: self}, ctrlMsgBytes)
-	c.recvMatching(p, self, func(pl any) bool {
-		rel, ok := pl.(barrierRelease)
-		return ok && rel.Epoch == epoch
-	})
-}
-
-// GatherAll performs an all-to-all exchange: every application node
-// contributes payload (of the given wire size) and receives the payloads of
-// all nodes, indexed by node id. It is how pass results ("each processor...
-// broadcasts them to the other processors") propagate.
-func (c *Coordinator) GatherAll(p *sim.Proc, self, epoch int, payload any, size int) []any {
-	n := c.layout.AppNodes
-	out := make([]any, n)
-	out[self] = payload
-	if n == 1 {
-		return out
-	}
-	for to := 0; to < n; to++ {
-		if to == self {
-			continue
-		}
-		c.nw.Send(p, self, to, PortCtrl, gatherMsg{Epoch: epoch, From: self, Payload: payload}, size)
-	}
-	got := make([]bool, n)
-	got[self] = true
-	for seen := 0; seen < n-1; seen++ {
-		pl := c.recvMatching(p, self, func(pl any) bool {
-			g, ok := pl.(gatherMsg)
-			return ok && g.Epoch == epoch && !got[g.From]
-		})
-		g := pl.(gatherMsg)
-		out[g.From] = g.Payload
-		got[g.From] = true
-	}
-	return out
-}

@@ -2,9 +2,6 @@ package cluster
 
 import (
 	"testing"
-
-	"repro/internal/sim"
-	"repro/internal/simnet"
 )
 
 func TestLayout(t *testing.T) {
@@ -30,113 +27,4 @@ func TestLayout(t *testing.T) {
 	if (Layout{AppNodes: 1, MemNodes: -1}).Validate() == nil {
 		t.Error("negative mem nodes accepted")
 	}
-}
-
-func setup(n int) (*sim.Kernel, *Coordinator, Layout) {
-	k := sim.NewKernel()
-	layout := Layout{AppNodes: n, MemNodes: 0}
-	nw := simnet.New(k, simnet.PaperATM(), layout.Total())
-	return k, NewCoordinator(nw, layout), layout
-}
-
-func TestBarrierSynchronizes(t *testing.T) {
-	const n = 4
-	k, coord, _ := setup(n)
-	var after []sim.Time
-	for i := 0; i < n; i++ {
-		i := i
-		k.Go("node", func(p *sim.Proc) {
-			p.Sleep(sim.Duration(i*10) * sim.Millisecond) // skewed arrivals
-			coord.Barrier(p, i, 1)
-			after = append(after, p.Now())
-		})
-	}
-	k.Run()
-	if len(after) != n {
-		t.Fatalf("%d nodes passed the barrier", len(after))
-	}
-	// Nobody may pass before the last arrival at 30 ms.
-	for _, ts := range after {
-		if ts < sim.Time(30*sim.Millisecond) {
-			t.Errorf("node passed barrier at %v, before last arrival", ts)
-		}
-	}
-}
-
-func TestBarrierSingleNodeNoOp(t *testing.T) {
-	k, coord, _ := setup(1)
-	k.Go("solo", func(p *sim.Proc) {
-		coord.Barrier(p, 0, 1)
-		if p.Now() != 0 {
-			t.Errorf("solo barrier advanced time to %v", p.Now())
-		}
-	})
-	k.Run()
-}
-
-func TestGatherAllExchangesPayloads(t *testing.T) {
-	const n = 3
-	k, coord, _ := setup(n)
-	results := make([][]any, n)
-	for i := 0; i < n; i++ {
-		i := i
-		k.Go("node", func(p *sim.Proc) {
-			results[i] = coord.GatherAll(p, i, 1, i*100, 64)
-		})
-	}
-	k.Run()
-	for i := 0; i < n; i++ {
-		if len(results[i]) != n {
-			t.Fatalf("node %d gathered %d payloads", i, len(results[i]))
-		}
-		for j := 0; j < n; j++ {
-			if results[i][j].(int) != j*100 {
-				t.Errorf("node %d slot %d = %v, want %d", i, j, results[i][j], j*100)
-			}
-		}
-	}
-}
-
-func TestConsecutiveCollectivesWithSkew(t *testing.T) {
-	// Nodes race ahead into the next epoch; the reorder buffer must keep
-	// each collective consistent.
-	const n = 4
-	const rounds = 6
-	k, coord, _ := setup(n)
-	sums := make([]int, n)
-	for i := 0; i < n; i++ {
-		i := i
-		k.Go("node", func(p *sim.Proc) {
-			for r := 0; r < rounds; r++ {
-				p.Sleep(sim.Duration((i*7+r*3)%11) * sim.Millisecond)
-				got := coord.GatherAll(p, i, r*2, i+r, 64)
-				for _, v := range got {
-					sums[i] += v.(int)
-				}
-				coord.Barrier(p, i, r*2+1)
-			}
-		})
-	}
-	k.Run()
-	// Each round's gather sum = sum(i) + n*r = 6 + 4r for n=4.
-	want := 0
-	for r := 0; r < rounds; r++ {
-		want += 6 + n*r
-	}
-	for i, got := range sums {
-		if got != want {
-			t.Errorf("node %d accumulated %d, want %d (collective mixed epochs)", i, got, want)
-		}
-	}
-}
-
-func TestGatherSingleNode(t *testing.T) {
-	k, coord, _ := setup(1)
-	k.Go("solo", func(p *sim.Proc) {
-		got := coord.GatherAll(p, 0, 1, "x", 10)
-		if len(got) != 1 || got[0].(string) != "x" {
-			t.Errorf("solo gather = %v", got)
-		}
-	})
-	k.Run()
 }

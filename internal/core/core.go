@@ -21,6 +21,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Backend selects the swap device used when a memory limit is set.
@@ -250,21 +251,31 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 	if err := nw.InstallFaults(plan); err != nil {
 		return nil, err
 	}
-	coord := cluster.NewCoordinator(nw, layout)
-
 	// One uniprocessor per node: every process on a node contends for it.
 	cpus := make([]*sim.Resource, layout.Total())
 	for i := range cpus {
 		cpus[i] = sim.NewResource(k, fmt.Sprintf("cpu-%d", i), 1)
 	}
 
+	// The transport veneer: one endpoint per node over the simulated fabric,
+	// one barrier/gather coordinator per application node.
+	eps := make([]transport.Endpoint, layout.Total())
+	for i := range eps {
+		eps[i] = transport.NewSimEndpoint(nw, i)
+	}
+	coords := make([]*transport.Coordinator, cfg.AppNodes)
+	for i := range coords {
+		coords[i] = transport.NewCoordinator(eps[i], cfg.AppNodes, cluster.PortCtrl)
+	}
+	spawn := transport.NewSimSpawner(k, cpus)
+
 	env := hpa.Env{
-		K:      k,
-		Net:    nw,
+		Spawn:  spawn,
 		Layout: layout,
-		Coord:  coord,
+		Links:  eps,
+		Coords: coords,
 		Txns:   parts,
-		CPUs:   cpus,
+		Stats:  nw,
 		Rec:    cfg.Trace,
 	}
 
@@ -275,17 +286,17 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 	var fallbacks []*memtable.FallbackPager
 
 	for _, id := range layout.MemIDs() {
-		st := remotemem.NewStore(nw, id, cfg.StoreCapacity, cfg.RemoteCosts)
+		st := remotemem.NewStore(eps[id], cfg.StoreCapacity, cfg.RemoteCosts)
 		st.Rec = cfg.Trace
 		stores = append(stores, st)
-		k.Go(fmt.Sprintf("store-%d", id), st.Run).BindCPU(cpus[id])
-		mon := remotemem.NewMonitor(nw, layout, st, cfg.MonitorInterval)
+		k.Go(fmt.Sprintf("store-%d", id), func(p *sim.Proc) { st.Run(p) }).BindCPU(cpus[id])
+		mon := remotemem.NewMonitor(eps[id], layout, st, cfg.MonitorInterval)
 		if cfg.MonitorSampleCPU > 0 {
 			mon.SampleCPU = cfg.MonitorSampleCPU
 		}
 		mon.Rec = cfg.Trace
 		monitors = append(monitors, mon)
-		k.Go(fmt.Sprintf("monitor-%d", id), mon.Run).BindCPU(cpus[id])
+		k.Go(fmt.Sprintf("monitor-%d", id), func(p *sim.Proc) { mon.Run(p) }).BindCPU(cpus[id])
 		cfg.Trace.RegisterProbe(id, "store_used_bytes", func() float64 {
 			return float64(st.UsedBytes())
 		})
@@ -301,7 +312,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 			clients = make([]*remotemem.Client, cfg.AppNodes)
 			env.Clients = clients
 			for i := 0; i < cfg.AppNodes; i++ {
-				cl := remotemem.NewClient(nw, layout, i)
+				cl := remotemem.NewClient(eps[i], layout)
 				cl.DeadAfter = cfg.DeadAfter
 				cl.FetchTimeout = cfg.FetchTimeout
 				cl.FetchRetries = cfg.FetchRetries
@@ -311,7 +322,7 @@ func Run(cfg Config, parts [][]itemset.Itemset) (*RunInfo, error) {
 				for _, st := range stores {
 					cl.Seed(st.Node(), st.FreeBytes())
 				}
-				k.Go(fmt.Sprintf("monclient-%d", i), cl.RunMonitor).BindCPU(cpus[i])
+				k.Go(fmt.Sprintf("monclient-%d", i), func(p *sim.Proc) { cl.RunMonitor(p) }).BindCPU(cpus[i])
 				clients[i] = cl
 				env.Pagers[i] = cl
 				if cfg.DiskFallback {

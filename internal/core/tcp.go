@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/hpa"
+	"repro/internal/itemset"
+	"repro/internal/memtable"
+	"repro/internal/remotemem"
+	"repro/internal/rmtp"
+	"repro/internal/transport"
+)
+
+// TCPConfig describes one node's share of a multi-process mining run over a
+// real TCP mesh, swapping against a fleet of rmserverd processes. All
+// processes must be launched with identical mining parameters: each
+// regenerates the full workload, so validation (MinCount, candidate
+// generation) is byte-for-byte the same everywhere while every node only
+// scans its own partition.
+type TCPConfig struct {
+	// AppNodes is the mesh size (one miner process, or goroutine, per node).
+	AppNodes int
+	// Node is this process's node id. Node 0 binds the rendezvous listener;
+	// the others join via Coord. -1 hosts ALL nodes in this process (an
+	// in-process mesh over loopback — the fidelity experiment and tests).
+	Node int
+	// Listen is node 0's rendezvous listen address (default "127.0.0.1:0").
+	Listen string
+	// Coord is the rendezvous address nodes > 0 join through.
+	Coord string
+	// Servers are the rmserverd fleet addresses (required when LimitBytes>0).
+	Servers []string
+
+	MinSupport float64
+	TotalLines int
+	LimitBytes int64
+	Policy     memtable.Policy
+	Eviction   memtable.Eviction
+	Hash       hpa.HashKind
+	MaxPasses  int
+	// BlockSize is the modeled message block size (default 4096, the
+	// simulated fabric's paper value — it drives batching and wire-size
+	// accounting, keeping TCP and simulated traffic comparable).
+	BlockSize int
+
+	// ClientOptions tune the rmtp clients (timeouts, retries, breaker).
+	ClientOptions rmtp.Options
+
+	// OnReady, when set, is called with the mesh rendezvous address once
+	// node 0's listener is bound (so a parent can spawn the other processes).
+	OnReady func(meshAddr string)
+}
+
+// TCPRunInfo is the outcome of one process's share of a TCP run.
+type TCPRunInfo struct {
+	// Result is the mining result. Shared fields (pass table, large
+	// itemsets, supports) are complete only in the process hosting node 0;
+	// PerNode rows are filled for locally-hosted nodes.
+	Result *hpa.Result
+	// Wall is the real elapsed time of the mining run.
+	Wall time.Duration
+	// Mesh carries the mesh's modeled traffic counters for this process.
+	MeshMessages, MeshBytes uint64
+	// Pagers exposes the per-local-node TCP pager stats (nil entries for
+	// nodes without a pager).
+	Pagers []*remotemem.TCPPagerStats
+}
+
+// RunTCP executes this process's share of an HPA run over a live TCP mesh.
+// parts must hold all AppNodes partitions (every process regenerates the
+// full deterministic workload from shared flags).
+func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
+	if cfg.AppNodes < 1 {
+		return nil, errors.New("core: tcp run needs at least one application node")
+	}
+	if len(parts) != cfg.AppNodes {
+		return nil, fmt.Errorf("core: %d partitions for %d nodes", len(parts), cfg.AppNodes)
+	}
+	if cfg.LimitBytes > 0 && len(cfg.Servers) == 0 {
+		return nil, errors.New("core: memory limit set but no rmtp servers given")
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+
+	// Bootstrap the mesh: all nodes in-process, or this process's one node.
+	var local []int
+	meshes := make([]*transport.TCPMesh, cfg.AppNodes)
+	switch {
+	case cfg.Node == -1:
+		if cfg.AppNodes == 1 {
+			m, err := transport.ListenMesh(1, listenAddr(cfg), cfg.BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Join(); err != nil {
+				m.Close()
+				return nil, err
+			}
+			if cfg.OnReady != nil {
+				cfg.OnReady(m.Addr())
+			}
+			meshes[0] = m
+		} else {
+			ms, err := transport.LoopbackMeshes(cfg.AppNodes, cfg.BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			copy(meshes, ms)
+			if cfg.OnReady != nil {
+				cfg.OnReady(ms[0].Addr())
+			}
+		}
+		for i := 0; i < cfg.AppNodes; i++ {
+			local = append(local, i)
+		}
+	case cfg.Node == 0:
+		m, err := transport.ListenMesh(cfg.AppNodes, listenAddr(cfg), cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.OnReady != nil {
+			cfg.OnReady(m.Addr())
+		}
+		if err := m.Join(); err != nil {
+			m.Close()
+			return nil, err
+		}
+		meshes[0] = m
+		local = []int{0}
+	default:
+		if cfg.Coord == "" {
+			return nil, errors.New("core: tcp node > 0 needs the rendezvous address (-tcp-coord)")
+		}
+		m, err := transport.JoinMesh(cfg.Node, cfg.AppNodes, cfg.Coord, cfg.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		meshes[cfg.Node] = m
+		local = []int{cfg.Node}
+	}
+	defer func() {
+		for _, m := range meshes {
+			if m != nil {
+				m.Close()
+			}
+		}
+	}()
+
+	layout := cluster.Layout{AppNodes: cfg.AppNodes, MemNodes: 0}
+	eps := make([]transport.Endpoint, cfg.AppNodes)
+	coords := make([]*transport.Coordinator, cfg.AppNodes)
+	for _, id := range local {
+		eps[id] = meshes[id]
+		coords[id] = transport.NewCoordinator(meshes[id], cfg.AppNodes, cluster.PortCtrl)
+	}
+
+	pagers := make([]memtable.Pager, cfg.AppNodes)
+	tcpPagers := make([]*remotemem.TCPPager, cfg.AppNodes)
+	if cfg.LimitBytes > 0 {
+		for _, id := range local {
+			tp, err := remotemem.NewTCPPager(fmt.Sprintf("miner-%d", id), cfg.Servers, cfg.ClientOptions)
+			if err != nil {
+				return nil, err
+			}
+			defer tp.Close()
+			tcpPagers[id] = tp
+			pagers[id] = tp
+		}
+	}
+
+	spawn := &transport.RealSpawner{}
+	env := hpa.Env{
+		Spawn:  spawn,
+		Layout: layout,
+		Links:  eps,
+		Coords: coords,
+		Local:  local,
+		Pagers: pagers,
+		Txns:   parts,
+	}
+	params := hpa.Params{
+		MinSupport: cfg.MinSupport,
+		TotalLines: cfg.TotalLines,
+		LimitBytes: cfg.LimitBytes,
+		Policy:     cfg.Policy,
+		Eviction:   cfg.Eviction,
+		Hash:       cfg.Hash,
+		MaxPasses:  cfg.MaxPasses,
+		Costs:      hpa.DefaultCPUCosts(),
+	}
+
+	start := time.Now()
+	pending, err := hpa.Start(env, params)
+	if err != nil {
+		return nil, err
+	}
+	spawn.WaitAll()
+
+	res, err := pending.Result()
+	if err != nil {
+		return nil, err
+	}
+	info := &TCPRunInfo{
+		Result: res,
+		Wall:   time.Since(start),
+		Pagers: make([]*remotemem.TCPPagerStats, cfg.AppNodes),
+	}
+	for _, id := range local {
+		info.MeshMessages += meshes[id].Messages()
+		info.MeshBytes += meshes[id].Bytes()
+		if tcpPagers[id] != nil {
+			st := tcpPagers[id].Stats()
+			info.Pagers[id] = &st
+		}
+	}
+	// The mesh only observes its own transmit side; expose the sum for the
+	// hosted nodes in the familiar Result fields when unset.
+	if res.Messages == 0 {
+		res.Messages = info.MeshMessages
+		res.Bytes = info.MeshBytes
+	}
+	return info, nil
+}
+
+func listenAddr(cfg TCPConfig) string {
+	if cfg.Listen != "" {
+		return cfg.Listen
+	}
+	return "127.0.0.1:0"
+}

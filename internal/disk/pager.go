@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/memtable"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // SwapPager implements memtable.Pager against a local disk — the baseline
@@ -147,7 +148,7 @@ func (sp *SwapPager) allocSlot() int {
 
 // StoreOut buffers the line for write-behind and returns its disk location
 // (Node < 0 marks a disk location).
-func (sp *SwapPager) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
+func (sp *SwapPager) StoreOut(p transport.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
 	p.Work(sp.copyCost)
 	slot, ok := sp.slots[line]
 	if !ok {
@@ -188,7 +189,7 @@ func (sp *SwapPager) flush() {
 
 // FetchIn serves a fault: from the write-behind buffer if the line has not
 // flushed yet, otherwise with a synchronous short-stroked disk read.
-func (sp *SwapPager) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
+func (sp *SwapPager) FetchIn(p transport.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
 	sp.faults++
 	if entries, ok := sp.pending[line]; ok {
 		delete(sp.pending, line)
@@ -205,7 +206,11 @@ func (sp *SwapPager) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]me
 	if !ok {
 		return nil, fmt.Errorf("disk: slot %d empty for line %d", slot, line)
 	}
-	sp.d.Read(p, sp.cylOf(slot), sp.ioBytes)
+	kp, ok := p.(*sim.Proc)
+	if !ok {
+		return nil, fmt.Errorf("disk: swap device requires a simulated kernel process, got %T", p)
+	}
+	sp.d.Read(kp, sp.cylOf(slot), sp.ioBytes)
 	delete(sp.onDisk, slot)
 	sp.releaseSlot(line)
 	return entries, nil
@@ -220,7 +225,7 @@ func (sp *SwapPager) releaseSlot(line int) {
 
 // Update is not supported by a disk: remote update is the point of the
 // paper's remote-memory interface.
-func (sp *SwapPager) Update(p *sim.Proc, line int, loc memtable.Location, key string) error {
+func (sp *SwapPager) Update(_ transport.Proc, line int, loc memtable.Location, key string) error {
 	return fmt.Errorf("disk: remote-update policy requires remote memory, not a disk swap device")
 }
 

@@ -31,6 +31,7 @@ func Registry() []Entry {
 		{"eviction-sweep", "Eviction policy ablation", EvictionSweep, false},
 		{"hash-skew", "Candidate-partitioning hash ablation", HashSkew, false},
 		{"crash-recovery", "Fail-stop store crash mid-pass-2", CrashRecovery, false},
+		{"fidelity", "Transport fidelity: sim vs live TCP mesh", Fidelity, false},
 		{"timeseries", "Memory occupancy and event flow over virtual time", TimeSeries, false},
 	}
 }

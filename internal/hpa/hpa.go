@@ -4,15 +4,17 @@ import (
 	"errors"
 	"fmt"
 
+	"sync"
+
 	"repro/internal/apriori"
 	"repro/internal/cluster"
 	"repro/internal/itemset"
 	"repro/internal/memtable"
 	"repro/internal/remotemem"
 	"repro/internal/sim"
-	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // CPUCosts are the per-operation compute charges, calibrated to the
@@ -109,29 +111,47 @@ func (pr Params) Validate() error {
 	return nil
 }
 
-// Env is the prepared cluster environment an HPA run executes in.
+// Env is the prepared cluster environment an HPA run executes in. It is
+// backend-agnostic: the same mining code drives the simulated fabric and a
+// real TCP mesh, differing only in how the environment is wired.
 type Env struct {
-	K      *sim.Kernel
-	Net    *simnet.Network
+	// Spawn starts node processes (kernel processes bound to node CPUs on
+	// the simulated backend, goroutines on TCP).
+	Spawn  transport.Spawner
 	Layout cluster.Layout
-	Coord  *cluster.Coordinator
+	// Links[id] is application node id's fabric endpoint. Indices outside
+	// Local may be nil in a multi-process run.
+	Links []transport.Endpoint
+	// Coords[id] is node id's barrier/gather coordinator over Links[id].
+	Coords []*transport.Coordinator
+	// Local lists the application node ids hosted by this process; nil hosts
+	// all of them (the simulated backend, or a single-process TCP run).
+	Local []int
 	// Pagers holds one pager per application node (nil entries allowed when
-	// LimitBytes is zero).
+	// LimitBytes is zero; only Local indices are consulted).
 	Pagers []memtable.Pager
 	// Clients, when the remote backend is used, lets the run attach tables
 	// for migration and collect client stats; entries may be nil.
 	Clients []*remotemem.Client
-	// Txns are the per-application-node transaction partitions.
+	// Txns are the per-application-node transaction partitions. Every
+	// process holds the full set (the workload is regenerated from shared
+	// parameters), so MinCount and validation are identical everywhere.
 	Txns [][]itemset.Itemset
-	// CPUs, when set, holds one capacity-1 resource per cluster node (by
-	// node id); processes on a node contend on it for their compute, as on
-	// the uniprocessor Pentium Pro nodes. Nil entries leave compute
-	// uncontended.
-	CPUs []*sim.Resource
+	// Stats, when non-nil, supplies fabric-wide traffic totals for the
+	// Result (the simulated network; nil where no global observer exists).
+	Stats transport.FabricStats
 	// Rec, when non-nil, receives per-pass KSpan events and has per-node
 	// table gauges (resident_bytes, out_lines) registered against it each
 	// time a pass builds a fresh candidate table.
 	Rec *trace.Recorder
+}
+
+// LocalNodes returns the application node ids this process hosts.
+func (e Env) LocalNodes() []int {
+	if e.Local != nil {
+		return e.Local
+	}
+	return e.Layout.AppIDs()
 }
 
 // NodeStats captures one application node's counters for a run.
@@ -187,12 +207,16 @@ func (r *Result) ToAprioriResult() *apriori.Result {
 	}
 }
 
-// Pending tracks an in-flight run started with Start.
+// Pending tracks an in-flight run started with Start. The mutex serializes
+// completion and candidate-cache access: on the simulated backend processes
+// are cooperative, but on the TCP backend locally-hosted nodes run as
+// genuinely concurrent goroutines.
 type Pending struct {
+	mu       sync.Mutex
 	res      *Result
 	errs     []error
 	finished int
-	nApp     int
+	nLocal   int
 	// OnAllDone runs (in simulation context) when every application node has
 	// finished or failed; the environment owner uses it to stop monitors.
 	OnAllDone func()
@@ -215,6 +239,8 @@ type passCandidates struct {
 // candidatesFor returns (computing on first request per pass) the candidate
 // set derived from the previous pass's large itemsets.
 func (pd *Pending) candidatesFor(k int, prevLarge []itemset.Itemset, totalLines int) *passCandidates {
+	pd.mu.Lock()
+	defer pd.mu.Unlock()
 	// candHash is set once at Start from Params.Hash.
 	if pd.candPass == k && pd.candCache != nil {
 		return pd.candCache
@@ -236,6 +262,8 @@ func (pd *Pending) candidatesFor(k int, prevLarge []itemset.Itemset, totalLines 
 
 // Err returns the first node failure, if any.
 func (pd *Pending) Err() error {
+	pd.mu.Lock()
+	defer pd.mu.Unlock()
 	if len(pd.errs) > 0 {
 		return pd.errs[0]
 	}
@@ -247,27 +275,33 @@ func (pd *Pending) Result() (*Result, error) {
 	if err := pd.Err(); err != nil {
 		return nil, err
 	}
-	if pd.finished != pd.nApp {
+	pd.mu.Lock()
+	defer pd.mu.Unlock()
+	if pd.finished != pd.nLocal {
 		return nil, fmt.Errorf("hpa: only %d of %d nodes finished (deadlock or starvation)",
-			pd.finished, pd.nApp)
+			pd.finished, pd.nLocal)
 	}
 	return pd.res, nil
 }
 
 func (pd *Pending) nodeDone(err error) {
+	pd.mu.Lock()
 	if err != nil {
 		pd.errs = append(pd.errs, err)
 	}
 	pd.finished++
-	// Stop shared services when every node finished, or on the first failure
-	// (remaining nodes may be blocked forever on a barrier).
-	if pd.OnAllDone != nil && (pd.finished == pd.nApp || len(pd.errs) == 1 && err != nil) {
+	// Stop shared services when every local node finished, or on the first
+	// failure (remaining nodes may be blocked forever on a barrier).
+	fire := pd.OnAllDone != nil && (pd.finished == pd.nLocal || len(pd.errs) == 1 && err != nil)
+	pd.mu.Unlock()
+	if fire {
 		pd.OnAllDone()
 	}
 }
 
-// Start validates the environment and spawns one application process pair
-// per node. The caller then drives env.K.Run() and reads Pending.Result.
+// Start validates the environment and spawns one application process per
+// locally-hosted node. The caller then drives the backend (kernel Run, or
+// goroutine completion) and reads Pending.Result.
 func Start(env Env, params Params) (*Pending, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
@@ -276,21 +310,33 @@ func Start(env Env, params Params) (*Pending, error) {
 		return nil, err
 	}
 	n := env.Layout.AppNodes
+	local := env.LocalNodes()
+	if len(local) == 0 {
+		return nil, errors.New("hpa: no locally hosted application nodes")
+	}
 	if len(env.Txns) != n {
 		return nil, fmt.Errorf("hpa: %d transaction partitions for %d nodes", len(env.Txns), n)
 	}
-	if params.LimitBytes > 0 {
-		if len(env.Pagers) != n {
-			return nil, fmt.Errorf("hpa: memory limit set but %d pagers for %d nodes", len(env.Pagers), n)
+	for _, id := range local {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("hpa: local node %d outside the %d application nodes", id, n)
 		}
-		for i, pg := range env.Pagers {
-			if pg == nil {
-				return nil, fmt.Errorf("hpa: memory limit set but node %d has no pager", i)
+		if id >= len(env.Links) || env.Links[id] == nil {
+			return nil, fmt.Errorf("hpa: local node %d has no fabric endpoint", id)
+		}
+		if id >= len(env.Coords) || env.Coords[id] == nil {
+			return nil, fmt.Errorf("hpa: local node %d has no coordinator", id)
+		}
+	}
+	if params.LimitBytes > 0 {
+		for _, id := range local {
+			if id >= len(env.Pagers) || env.Pagers[id] == nil {
+				return nil, fmt.Errorf("hpa: memory limit set but node %d has no pager", id)
 			}
 		}
 	}
 	if params.BatchItems == 0 {
-		params.BatchItems = (env.Net.Config().BlockSize - blockHeaderBytes) / probeItemWireBytes
+		params.BatchItems = (env.Links[local[0]].BlockSize() - blockHeaderBytes) / probeItemWireBytes
 		if params.BatchItems < 1 {
 			params.BatchItems = 1
 		}
@@ -307,7 +353,7 @@ func Start(env Env, params Params) (*Pending, error) {
 	}
 
 	pd := &Pending{
-		nApp:     n,
+		nLocal:   len(local),
 		candHash: params.Hash,
 		res: &Result{
 			Large:        [][]itemset.Itemset{nil},
@@ -318,25 +364,14 @@ func Start(env Env, params Params) (*Pending, error) {
 			PassTimes:    []sim.Duration{0},
 		},
 	}
-	for id := 0; id < n; id++ {
+	for _, id := range local {
 		node := &appNode{
 			id:     id,
 			env:    env,
 			params: params,
 			pd:     pd,
 		}
-		proc := env.K.Go(fmt.Sprintf("app-%d", id), node.run)
-		if cpu := env.cpuOf(id); cpu != nil {
-			proc.BindCPU(cpu)
-		}
+		env.Spawn.Go(id, fmt.Sprintf("app-%d", id), node.run)
 	}
 	return pd, nil
-}
-
-// cpuOf returns the node's CPU resource, or nil when compute is uncontended.
-func (e Env) cpuOf(node int) *sim.Resource {
-	if node < len(e.CPUs) {
-		return e.CPUs[node]
-	}
-	return nil
 }

@@ -1,6 +1,7 @@
 package hpa
 
 import (
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -10,7 +11,16 @@ import (
 	"repro/internal/memtable"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
+
+func init() {
+	// The TCP mesh carries these by gob; the simulated fabric by reference.
+	gob.Register(dataBlock{})
+	gob.Register(dataDone{})
+	gob.Register(localCount{})
+	gob.Register(largeSet{})
+}
 
 // Wire formats for the counting phase.
 
@@ -83,18 +93,19 @@ func (a *appNode) localLines() int {
 	return (a.params.TotalLines + n - 1 - a.id) / n
 }
 
-func (a *appNode) run(p *sim.Proc) {
-	if err := a.mine(p); err != nil {
-		a.pd.nodeDone(fmt.Errorf("node %d: %w", a.id, err))
-		return
+func (a *appNode) run(p transport.Proc) error {
+	err := a.mine(p)
+	if err != nil {
+		err = fmt.Errorf("node %d: %w", a.id, err)
 	}
-	a.pd.nodeDone(nil)
+	a.pd.nodeDone(err)
+	return err
 }
 
-func (a *appNode) mine(p *sim.Proc) error {
+func (a *appNode) mine(p transport.Proc) error {
 	res := a.pd.res
 	costs := a.params.Costs
-	coord := a.env.Coord
+	coord := a.env.Coords[a.id]
 	txns := a.env.Txns[a.id]
 	epoch := 0
 	nextEpoch := func() int { epoch++; return epoch }
@@ -121,7 +132,10 @@ func (a *appNode) mine(p *sim.Proc) error {
 	for _, it := range payload.Items {
 		payload.Counts = append(payload.Counts, counts[it])
 	}
-	gathered := coord.GatherAll(p, a.id, nextEpoch(), payload, len(payload.Items)*countWireBytesPer)
+	gathered, err := coord.GatherAll(p, nextEpoch(), payload, len(payload.Items)*countWireBytesPer)
+	if err != nil {
+		return err
+	}
 
 	global := make(map[itemset.Item]int)
 	for _, g := range gathered {
@@ -144,7 +158,9 @@ func (a *appNode) mine(p *sim.Proc) error {
 		res.Large = append(res.Large, l1)
 		res.Passes = append(res.Passes, apriori.PassStats{K: 1, Candidates: len(global), Large: len(l1)})
 	}
-	coord.Barrier(p, a.id, nextEpoch())
+	if err := coord.Barrier(p, nextEpoch()); err != nil {
+		return err
+	}
 	if a.id == 0 {
 		res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
 	}
@@ -221,22 +237,20 @@ func (a *appNode) mine(p *sim.Proc) error {
 		}
 
 		// All tables built before counting traffic starts.
-		coord.Barrier(p, a.id, nextEpoch())
+		if err := coord.Barrier(p, nextEpoch()); err != nil {
+			return err
+		}
 
 		// Phase B: sender scans transactions; receiver (this process)
 		// counts.
-		sendErr := make([]error, 1)
-		sender := a.env.K.Go(fmt.Sprintf("sender-%d-p%d", a.id, k), func(sp *sim.Proc) {
-			sendErr[0] = a.runSender(sp, k, txns)
+		sender := a.env.Spawn.Go(a.id, fmt.Sprintf("sender-%d-p%d", a.id, k), func(sp transport.Proc) error {
+			return a.runSender(sp, k, txns)
 		})
-		if cpu := a.env.cpuOf(a.id); cpu != nil {
-			sender.BindCPU(cpu)
-		}
 		if err := a.runReceiver(p, table); err != nil {
 			return err
 		}
-		if sendErr[0] != nil {
-			return sendErr[0]
+		if err := sender.Wait(p); err != nil {
+			return err
 		}
 
 		// Phase C: collect counts, determine large locally, merge globally.
@@ -251,7 +265,10 @@ func (a *appNode) mine(p *sim.Proc) error {
 				ls.Counts = append(ls.Counts, int(e.Count))
 			}
 		}
-		gathered := coord.GatherAll(p, a.id, nextEpoch(), ls, len(ls.Sets)*largeWireBytesPerKB)
+		gathered, err := coord.GatherAll(p, nextEpoch(), ls, len(ls.Sets)*largeWireBytesPerKB)
+		if err != nil {
+			return err
+		}
 
 		var large []itemset.Itemset
 		supports := make(map[string]int)
@@ -280,7 +297,9 @@ func (a *appNode) mine(p *sim.Proc) error {
 				res.Support[key] = c
 			}
 		}
-		coord.Barrier(p, a.id, nextEpoch())
+		if err := coord.Barrier(p, nextEpoch()); err != nil {
+			return err
+		}
 		if a.id == 0 {
 			res.PassTimes = append(res.PassTimes, p.Now().Sub(passStart))
 		}
@@ -309,14 +328,16 @@ func (a *appNode) mine(p *sim.Proc) error {
 			}
 			res.TotalUpdates += ns.Updates
 		}
-		res.Messages = a.env.Net.Messages()
-		res.Bytes = a.env.Net.Bytes()
+		if a.env.Stats != nil {
+			res.Messages = a.env.Stats.Messages()
+			res.Bytes = a.env.Stats.Bytes()
+		}
 	}
 	return nil
 }
 
 // emitPassSpan records one mining pass as a trace span on this node.
-func (a *appNode) emitPassSpan(p *sim.Proc, k int, start sim.Time) {
+func (a *appNode) emitPassSpan(p transport.Proc, k int, start sim.Time) {
 	if a.env.Rec.Wants(trace.KSpan) {
 		a.env.Rec.Emit(trace.Event{
 			At: start, Dur: p.Now().Sub(start), Node: a.id,
@@ -329,17 +350,19 @@ func (a *appNode) emitPassSpan(p *sim.Proc, k int, start sim.Time) {
 // runSender scans the local transactions, enumerates k-subsets, batches them
 // per destination, and ships blocks; it ends by sending a done marker to
 // every application node.
-func (a *appNode) runSender(p *sim.Proc, k int, txns []itemset.Itemset) error {
+func (a *appNode) runSender(p transport.Proc, k int, txns []itemset.Itemset) error {
 	costs := a.params.Costs
+	ep := a.env.Links[a.id]
 	n := a.env.Layout.AppNodes
 	batches := make([][]probeItem, n)
+	var sendErr error
 	flush := func(dest int) {
-		if len(batches[dest]) == 0 {
+		if len(batches[dest]) == 0 || sendErr != nil {
 			return
 		}
 		items := batches[dest]
 		batches[dest] = nil
-		a.env.Net.Send(p, a.id, dest, cluster.PortData,
+		sendErr = ep.Send(p, dest, cluster.PortData,
 			dataBlock{From: a.id, Items: items},
 			blockHeaderBytes+len(items)*probeItemWireBytes)
 	}
@@ -369,9 +392,14 @@ func (a *appNode) runSender(p *sim.Proc, k int, txns []itemset.Itemset) error {
 	}
 	for dest := 0; dest < n; dest++ {
 		flush(dest)
-		a.env.Net.Send(p, a.id, dest, cluster.PortData, dataDone{From: a.id}, blockHeaderBytes)
+		if sendErr != nil {
+			return sendErr
+		}
+		if err := ep.Send(p, dest, cluster.PortData, dataDone{From: a.id}, blockHeaderBytes); err != nil {
+			return err
+		}
 	}
-	return nil
+	return sendErr
 }
 
 // pairKey builds the canonical key of the 2-itemset {a,b} (a < b) without
@@ -391,11 +419,14 @@ func pairKey(a, b itemset.Item) string {
 
 // runReceiver drains data blocks, probing the table for each item, until
 // every sender's done marker has arrived.
-func (a *appNode) runReceiver(p *sim.Proc, table *memtable.Table) error {
-	inbox := a.env.Net.Inbox(a.id, cluster.PortData)
+func (a *appNode) runReceiver(p transport.Proc, table *memtable.Table) error {
+	ep := a.env.Links[a.id]
 	remaining := a.env.Layout.AppNodes
 	for remaining > 0 {
-		m := inbox.Recv(p)
+		m, err := ep.Recv(p, cluster.PortData)
+		if err != nil {
+			return err
+		}
 		switch msg := m.Payload.(type) {
 		case dataBlock:
 			for _, item := range msg.Items {

@@ -3,7 +3,7 @@ package memtable
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // FallbackPager chains two pagers into a degraded-mode tier: store-outs go
@@ -28,7 +28,7 @@ func (f *FallbackPager) FallbackStores() uint64 { return f.fallbackStores }
 // StoreOut tries Primary first and falls back to Secondary on error. With no
 // Secondary configured the primary's error is surfaced as-is instead of
 // panicking on the nil tier.
-func (f *FallbackPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error) {
+func (f *FallbackPager) StoreOut(p transport.Proc, line int, entries []Entry) (Location, error) {
 	loc, err := f.Primary.StoreOut(p, line, entries)
 	if err == nil {
 		return loc, nil
@@ -41,7 +41,7 @@ func (f *FallbackPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Locati
 }
 
 // FetchIn routes by the location's tier.
-func (f *FallbackPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error) {
+func (f *FallbackPager) FetchIn(p transport.Proc, line int, loc Location) ([]Entry, error) {
 	if loc.Node >= 0 {
 		return f.Primary.FetchIn(p, line, loc)
 	}
@@ -52,7 +52,7 @@ func (f *FallbackPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, e
 }
 
 // Update routes by the location's tier.
-func (f *FallbackPager) Update(p *sim.Proc, line int, loc Location, key string) error {
+func (f *FallbackPager) Update(p transport.Proc, line int, loc Location, key string) error {
 	if loc.Node >= 0 {
 		return f.Primary.Update(p, line, loc, key)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // chainPager records operations and can be made to refuse stores.
@@ -20,7 +21,7 @@ func newChainPager(node int) *chainPager {
 	return &chainPager{node: node, stored: make(map[int][]Entry)}
 }
 
-func (f *chainPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error) {
+func (f *chainPager) StoreOut(p transport.Proc, line int, entries []Entry) (Location, error) {
 	if f.refuse {
 		return Location{}, errors.New("refused")
 	}
@@ -28,7 +29,7 @@ func (f *chainPager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location,
 	return Location{Node: f.node, Slot: line}, nil
 }
 
-func (f *chainPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error) {
+func (f *chainPager) FetchIn(p transport.Proc, line int, loc Location) ([]Entry, error) {
 	e, ok := f.stored[line]
 	if !ok {
 		return nil, fmt.Errorf("line %d not stored here", line)
@@ -38,7 +39,7 @@ func (f *chainPager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, erro
 	return e, nil
 }
 
-func (f *chainPager) Update(p *sim.Proc, line int, loc Location, key string) error {
+func (f *chainPager) Update(p transport.Proc, line int, loc Location, key string) error {
 	return nil
 }
 

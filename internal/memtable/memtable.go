@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Entry is one candidate itemset (canonical key) with its support count.
@@ -83,13 +84,13 @@ type Location struct {
 // all virtual-time costs (network, service, disk) on the calling process.
 type Pager interface {
 	// StoreOut ships a line out and returns where it was placed.
-	StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error)
+	StoreOut(p transport.Proc, line int, entries []Entry) (Location, error)
 	// FetchIn retrieves a previously stored line, releasing the remote/disk
 	// copy.
-	FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error)
+	FetchIn(p transport.Proc, line int, loc Location) ([]Entry, error)
 	// Update applies a one-way count increment for key at the stored line
 	// (RemoteUpdate policy).
-	Update(p *sim.Proc, line int, loc Location, key string) error
+	Update(p transport.Proc, line int, loc Location, key string) error
 }
 
 // Stats are cumulative table counters.
@@ -300,7 +301,7 @@ func (t *Table) WouldOverflow(extra int64) bool {
 // evictUntil swaps out LRU-last lines until resident+incoming fits, always
 // keeping the protected line resident. It panics on pager errors becoming
 // visible (callers translate via runMining error paths).
-func (t *Table) evictUntil(p *sim.Proc, incoming int64, protect int32) error {
+func (t *Table) evictUntil(p transport.Proc, incoming int64, protect int32) error {
 	if t.cfg.LimitBytes == 0 {
 		return nil
 	}
@@ -316,7 +317,7 @@ func (t *Table) evictUntil(p *sim.Proc, incoming int64, protect int32) error {
 	return nil
 }
 
-func (t *Table) evict(p *sim.Proc, i int32) error {
+func (t *Table) evict(p transport.Proc, i int32) error {
 	l := &t.lines[i]
 	if l.state != stateResident {
 		return fmt.Errorf("memtable: evicting non-resident line %d", i)
@@ -342,7 +343,7 @@ func (t *Table) evict(p *sim.Proc, i int32) error {
 }
 
 // fault brings line i resident (making room first).
-func (t *Table) fault(p *sim.Proc, i int32) error {
+func (t *Table) fault(p transport.Proc, i int32) error {
 	l := &t.lines[i]
 	start := p.Now()
 	src := l.loc.Node
@@ -379,7 +380,7 @@ func (t *Table) notePeak() {
 // Insert adds a candidate entry (count 0) to the given line during the
 // build phase. Swapped-out lines are faulted back in regardless of policy
 // (pinning applies only to the counting phase).
-func (t *Table) Insert(p *sim.Proc, lineID int, key string) error {
+func (t *Table) Insert(p transport.Proc, lineID int, key string) error {
 	if lineID < 0 || lineID >= len(t.lines) {
 		return fmt.Errorf("memtable: line %d out of range", lineID)
 	}
@@ -404,7 +405,7 @@ func (t *Table) Insert(p *sim.Proc, lineID int, key string) error {
 // increments its count if present. Behaviour for swapped-out lines follows
 // the configured policy: SimpleSwap faults the line in; RemoteUpdate sends a
 // one-way update to the line's location.
-func (t *Table) Probe(p *sim.Proc, lineID int, key string) error {
+func (t *Table) Probe(p transport.Proc, lineID int, key string) error {
 	if lineID < 0 || lineID >= len(t.lines) {
 		return fmt.Errorf("memtable: line %d out of range", lineID)
 	}
@@ -447,7 +448,7 @@ func (t *Table) Probe(p *sim.Proc, lineID int, key string) error {
 // lines (for RemoteUpdate lines this retrieves the remotely accumulated
 // counts). It runs at the end of the counting phase; resident accounting may
 // transiently exceed the limit since no further evictions are useful.
-func (t *Table) Collect(p *sim.Proc) ([]Entry, error) {
+func (t *Table) Collect(p transport.Proc) ([]Entry, error) {
 	var out []Entry
 	for i := range t.lines {
 		l := &t.lines[i]

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // fakePager stores lines in memory with optional per-op latency, emulating a
@@ -21,7 +22,7 @@ type fakePager struct {
 
 func newFakePager() *fakePager { return &fakePager{stored: map[int][]Entry{}} }
 
-func (f *fakePager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, error) {
+func (f *fakePager) StoreOut(p transport.Proc, line int, entries []Entry) (Location, error) {
 	if f.failNext {
 		f.failNext = false
 		return Location{}, fmt.Errorf("injected store failure")
@@ -34,7 +35,7 @@ func (f *fakePager) StoreOut(p *sim.Proc, line int, entries []Entry) (Location, 
 	return Location{Node: 9, Slot: line}, nil
 }
 
-func (f *fakePager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error) {
+func (f *fakePager) FetchIn(p transport.Proc, line int, loc Location) ([]Entry, error) {
 	p.Sleep(f.latency)
 	entries, ok := f.stored[line]
 	if !ok {
@@ -45,7 +46,7 @@ func (f *fakePager) FetchIn(p *sim.Proc, line int, loc Location) ([]Entry, error
 	return entries, nil
 }
 
-func (f *fakePager) Update(p *sim.Proc, line int, loc Location, key string) error {
+func (f *fakePager) Update(p transport.Proc, line int, loc Location, key string) error {
 	p.Sleep(f.latency)
 	f.updates++
 	for i := range f.stored[line] {

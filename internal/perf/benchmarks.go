@@ -12,8 +12,10 @@ import (
 	"repro/internal/itemset"
 	"repro/internal/memtable"
 	"repro/internal/quest"
+	"repro/internal/remotemem"
 	"repro/internal/rmtp"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 // BenchConfig selects the workload the paper-anchored benchmarks run:
@@ -277,6 +279,51 @@ func BenchRMTPStoreFetchLoopback(b *testing.B) {
 	b.ReportMetric(float64(m.Retries), "retries")
 }
 
+// BenchTCPPagerSwapLoopback measures the full TCP swap backend the miner
+// uses under -transport=tcp: a remotemem.TCPPager store-out + fetch-in
+// round trip against a two-server fleet, including the shadow-copy
+// bookkeeping and the verified (lease-then-delete) fetch path — the cost of
+// one real pagefault as the mining pipeline actually pays it, not just the
+// raw protocol round trip.
+func BenchTCPPagerSwapLoopback(b *testing.B) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		s := rmtp.NewServer(0)
+		if err := s.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		addrs = append(addrs, s.Addr())
+	}
+	tp, err := remotemem.NewTCPPager("bench", addrs, rmtp.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tp.Close()
+	p := transport.NewRealProc()
+	entries := make([]memtable.Entry, 6)
+	for i := range entries {
+		entries[i] = memtable.Entry{Key: fmt.Sprintf("key-%03d", i), Count: int32(i)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := i % 1024
+		loc, err := tp.StoreOut(p, line, entries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tp.FetchIn(p, line, loc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := tp.Stats()
+	b.ReportMetric(float64(st.VerifiedFetches), "verified-fetches")
+	b.ReportMetric(float64(st.Mismatches), "mismatches")
+	b.ReportMetric(float64(st.Failovers), "failovers")
+}
+
 // Benchmark is one registered benchmark: an exported body callable both
 // from the root bench_test.go wrappers and from cmd/bench.
 type Benchmark struct {
@@ -303,5 +350,6 @@ func Benchmarks() []Benchmark {
 		{"Fig5Migration", "Fig. 5", BenchFig5Migration},
 		{"PublicAPIQuickstart", "public API", BenchPublicAPIQuickstart},
 		{"RMTPStoreFetchLoopback", "§4.2 pagefault cost", BenchRMTPStoreFetchLoopback},
+		{"TCPPagerSwapLoopback", "§4.2 pagefault cost", BenchTCPPagerSwapLoopback},
 	}
 }

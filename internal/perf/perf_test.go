@@ -368,7 +368,7 @@ func TestBenchmarkRegistry(t *testing.T) {
 		"Table2PassCounts", "Table3Partition", "Fig3Bottleneck1MemNode",
 		"Fig3Resolved16MemNodes", "Table4NoLimitBase", "Table4Fault13MB",
 		"Fig4DiskSwap", "Fig4SimpleSwap", "Fig4RemoteUpdate", "Fig5Migration",
-		"PublicAPIQuickstart", "RMTPStoreFetchLoopback",
+		"PublicAPIQuickstart", "RMTPStoreFetchLoopback", "TCPPagerSwapLoopback",
 	}
 	if len(benches) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(benches), len(want))

@@ -8,9 +8,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/memtable"
 	"repro/internal/sim"
-	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // destState tracks the client's view of one memory-available node.
@@ -30,7 +30,7 @@ const (
 // withdraws its memory.
 type Client struct {
 	node   int
-	nw     *simnet.Network
+	ep     transport.Endpoint
 	layout cluster.Layout
 	avail  *AvailTable
 	table  *memtable.Table // attached after table construction
@@ -115,11 +115,11 @@ type Client struct {
 	res        stats.Resilience
 }
 
-// NewClient creates a client for application node `node`.
-func NewClient(nw *simnet.Network, layout cluster.Layout, node int) *Client {
+// NewClient creates a client for the application node bound to ep.
+func NewClient(ep transport.Endpoint, layout cluster.Layout) *Client {
 	return &Client{
-		node:                 node,
-		nw:                   nw,
+		node:                 ep.Self(),
+		ep:                   ep,
 		layout:               layout,
 		avail:                NewAvailTable(),
 		placed:               make(map[int]int),
@@ -177,7 +177,7 @@ func (c *Client) markDead(node int) {
 	c.res.Failovers++
 	if c.Rec.Wants(trace.KFaultDetect) {
 		c.Rec.Emit(trace.Event{
-			At: c.nw.Now(), Node: c.node, Kind: trace.KFaultDetect,
+			At: c.ep.Now(), Node: c.node, Kind: trace.KFaultDetect,
 			Line: -1, Peer: node,
 		})
 	}
@@ -222,7 +222,7 @@ func (c *Client) checkHeartbeats() {
 // sees only its own charges between reports, so always chasing the maximum
 // would make all application nodes dogpile the same store between two
 // monitor rounds.
-func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
+func (c *Client) StoreOut(p transport.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
 	c.checkHeartbeats()
 	need := int64(len(entries)) * memtable.EntryMemBytes
 	known := c.avail.Known()
@@ -250,9 +250,11 @@ func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memt
 		return memtable.Location{}, fmt.Errorf(
 			"remotemem: node %d: no memory-available node can hold %d bytes", c.node, need)
 	}
-	c.nw.Send(p, c.node, dest, cluster.PortMem,
+	if err := c.ep.Send(p, dest, cluster.PortMem,
 		StoreMsg{Owner: c.node, Line: line, Entries: entries},
-		lineWireBytes(c.nw.Config().BlockSize, len(entries)))
+		lineWireBytes(c.ep.BlockSize(), len(entries))); err != nil {
+		return memtable.Location{}, fmt.Errorf("remotemem: node %d: store-out of line %d: %w", c.node, line, err)
+	}
 	c.avail.Charge(dest, need)
 	c.placed[line] = dest
 	c.lineBytes[line] = need
@@ -271,14 +273,13 @@ func (c *Client) StoreOut(p *sim.Proc, line int, entries []memtable.Entry) (memt
 // growing window and backoff; when all attempts time out — or the holder is
 // already known dead — the line is rebuilt from its shadow instead of
 // hanging the mining pass.
-func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
+func (c *Client) FetchIn(p transport.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
 	c.checkHeartbeats()
 	if c.tainted[line] {
 		// The holder missed updates while presumed dead and has since been
 		// revived; its copy is stale. Only the shadow has the true counts.
 		return c.recoverLine(p, line, loc.Node)
 	}
-	inbox := c.nw.Inbox(c.node, cluster.PortMemReply)
 	attempts := 1
 	if c.FetchTimeout > 0 {
 		attempts += c.FetchRetries
@@ -304,14 +305,16 @@ func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtab
 			}
 		}
 		c.fetchSeq++
-		c.nw.Send(p, c.node, target, cluster.PortMem,
-			FetchReq{Owner: c.node, Line: line, Seq: c.fetchSeq}, reqWireBytes)
+		if err := c.ep.Send(p, target, cluster.PortMem,
+			FetchReq{Owner: c.node, Line: line, Seq: c.fetchSeq}, reqWireBytes); err != nil {
+			return nil, fmt.Errorf("remotemem: node %d: fetch of line %d: %w", c.node, line, err)
+		}
 		var deadline sim.Time
 		if c.FetchTimeout > 0 {
 			deadline = p.Now().Add(c.FetchTimeout << attempt)
 		}
 		for {
-			var m simnet.Message
+			var m transport.Message
 			if c.FetchTimeout > 0 {
 				remaining := deadline.Sub(p.Now())
 				if remaining <= 0 {
@@ -319,13 +322,21 @@ func (c *Client) FetchIn(p *sim.Proc, line int, loc memtable.Location) ([]memtab
 					break // next attempt
 				}
 				got := false
-				m, got = inbox.RecvTimeout(p, remaining)
+				var err error
+				m, got, err = c.ep.RecvTimeout(p, cluster.PortMemReply, remaining)
+				if err != nil {
+					return nil, fmt.Errorf("remotemem: node %d: fetch of line %d: %w", c.node, line, err)
+				}
 				if !got {
 					c.res.DeadlineHits++
 					break
 				}
 			} else {
-				m = inbox.Recv(p)
+				var err error
+				m, err = c.ep.Recv(p, cluster.PortMemReply)
+				if err != nil {
+					return nil, fmt.Errorf("remotemem: node %d: fetch of line %d: %w", c.node, line, err)
+				}
 			}
 			reply, ok := m.Payload.(FetchReply)
 			if !ok {
@@ -394,7 +405,7 @@ func (c *Client) retryPause(attempt int) sim.Duration {
 
 // recoverLine rebuilds a line lost with a dead store from its shadow copy,
 // charging the modeled recomputation cost.
-func (c *Client) recoverLine(p *sim.Proc, line, holder int) ([]memtable.Entry, error) {
+func (c *Client) recoverLine(p transport.Proc, line, holder int) ([]memtable.Entry, error) {
 	sh, ok := c.shadow[line]
 	if !ok {
 		return nil, fmt.Errorf("remotemem: node %d: line %d lost with dead store %d and no shadow retained",
@@ -425,7 +436,7 @@ func (c *Client) recoverLine(p *sim.Proc, line, holder int) ([]memtable.Entry, e
 // Update sends a one-way count increment for a pinned line (§4.4). The
 // shadow, when retained, mirrors the increment so a later recovery carries
 // the same counts the remote copy had.
-func (c *Client) Update(p *sim.Proc, line int, loc memtable.Location, key string) error {
+func (c *Client) Update(p transport.Proc, line int, loc memtable.Location, key string) error {
 	if sh, ok := c.shadow[line]; ok {
 		for i := range sh {
 			if sh[i].Key == key {
@@ -440,9 +451,8 @@ func (c *Client) Update(p *sim.Proc, line int, loc memtable.Location, key string
 	if c.tainted[line] {
 		return nil // remote copy already stale; the shadow is authoritative
 	}
-	c.nw.Send(p, c.node, loc.Node, cluster.PortMem,
+	return c.ep.Send(p, loc.Node, cluster.PortMem,
 		UpdateMsg{Owner: c.node, Line: line, Key: key}, updateWireBytes)
-	return nil
 }
 
 var _ memtable.Pager = (*Client)(nil)
@@ -456,10 +466,12 @@ func (c *Client) Stop() { c.stopped = true }
 // sent from the memory monitoring processes" (§4.2). It updates the shared
 // availability table and, when a memory-available node reports shortage,
 // sends migration directions for this node's lines held there.
-func (c *Client) RunMonitor(p *sim.Proc) {
-	inbox := c.nw.Inbox(c.node, cluster.PortMon)
+func (c *Client) RunMonitor(p transport.Proc) {
 	for !c.stopped {
-		m := inbox.Recv(p)
+		m, err := c.ep.Recv(p, cluster.PortMon)
+		if err != nil {
+			return // fabric torn down
+		}
 		switch msg := m.Payload.(type) {
 		case MemReport:
 			p.Work(c.ReportCPU)
@@ -479,7 +491,7 @@ func (c *Client) RunMonitor(p *sim.Proc) {
 	}
 }
 
-func (c *Client) handleReport(p *sim.Proc, msg MemReport) {
+func (c *Client) handleReport(p transport.Proc, msg MemReport) {
 	st := c.destStates[msg.Node]
 	if msg.FreeBytes > c.UnavailableThreshold {
 		if st == destDrained || st == destDead {
@@ -562,9 +574,13 @@ func (c *Client) handleReport(p *sim.Proc, msg MemReport) {
 			if n > chunk {
 				n = chunk
 			}
-			c.nw.Send(p, c.node, msg.Node, cluster.PortMem,
+			if err := c.ep.Send(p, msg.Node, cluster.PortMem,
 				MigrateCmd{Owner: c.node, Lines: batch[:n], Dest: d},
-				migrateCmdWireBytes(n))
+				migrateCmdWireBytes(n)); err != nil {
+				c.logf("remotemem: node %d: migrate direction to store %d failed: %v",
+					c.node, msg.Node, err)
+				return
+			}
 			batch = batch[n:]
 		}
 	}
@@ -587,7 +603,7 @@ func (c *Client) handleMigrateDone(msg MigrateDone) {
 	c.destStates[msg.From] = destDrained
 	if c.Rec.Wants(trace.KMigrateDone) {
 		c.Rec.Emit(trace.Event{
-			At: c.nw.Now(), Node: c.node, Kind: trace.KMigrateDone,
+			At: c.ep.Now(), Node: c.node, Kind: trace.KMigrateDone,
 			Name: fmt.Sprintf("%d-lines", len(msg.Lines)),
 			Line: -1, Peer: msg.From,
 		})

@@ -5,8 +5,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
-	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Monitor is the process on a memory-available node that samples the amount
@@ -17,7 +17,7 @@ import (
 // heavy for application execution nodes").
 type Monitor struct {
 	store    *Store
-	nw       *simnet.Network
+	ep       transport.Endpoint
 	layout   cluster.Layout
 	interval sim.Duration
 	stop     bool
@@ -35,13 +35,13 @@ type Monitor struct {
 	Rec *trace.Recorder
 }
 
-// NewMonitor creates a monitor for the given store.
-func NewMonitor(nw *simnet.Network, layout cluster.Layout, store *Store, interval sim.Duration) *Monitor {
+// NewMonitor creates a monitor for the given store over its endpoint.
+func NewMonitor(ep transport.Endpoint, layout cluster.Layout, store *Store, interval sim.Duration) *Monitor {
 	if interval <= 0 {
 		panic("remotemem: monitor interval must be positive")
 	}
 	return &Monitor{
-		store: store, nw: nw, layout: layout, interval: interval,
+		store: store, ep: ep, layout: layout, interval: interval,
 		SampleCPU: 40 * sim.Millisecond,
 	}
 }
@@ -53,7 +53,7 @@ func (m *Monitor) Reports() uint64 { return m.reports }
 func (m *Monitor) Stop() { m.stop = true }
 
 // Run broadcasts availability reports forever (until Stop).
-func (m *Monitor) Run(p *sim.Proc) {
+func (m *Monitor) Run(p transport.Proc) {
 	for !m.stop {
 		p.Sleep(m.interval)
 		if m.stop {
@@ -71,7 +71,9 @@ func (m *Monitor) Run(p *sim.Proc) {
 			}
 		}
 		for _, app := range m.layout.AppIDs() {
-			m.nw.Send(p, m.store.Node(), app, cluster.PortMon, report, reportWireBytes)
+			if err := m.ep.Send(p, app, cluster.PortMon, report, reportWireBytes); err != nil {
+				return // fabric torn down
+			}
 		}
 		m.reports++
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/memtable"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // rig wires one app node (0) and m memory nodes (1..m) with stores,
@@ -30,17 +31,18 @@ func newRig(t *testing.T, memNodes int, capacity int64, interval sim.Duration) *
 	nw := simnet.New(k, simnet.PaperATM(), layout.Total())
 	costs := DefaultCosts()
 	r := &rig{k: k, nw: nw, layout: layout, costs: costs}
-	r.client = NewClient(nw, layout, 0)
+	r.client = NewClient(transport.NewSimEndpoint(nw, 0), layout)
 	for _, id := range layout.MemIDs() {
-		st := NewStore(nw, id, capacity, costs)
+		ep := transport.NewSimEndpoint(nw, id)
+		st := NewStore(ep, capacity, costs)
 		r.stores = append(r.stores, st)
-		k.Go(fmt.Sprintf("store-%d", id), st.Run)
-		mon := NewMonitor(nw, layout, st, interval)
+		k.Go(fmt.Sprintf("store-%d", id), func(p *sim.Proc) { st.Run(p) })
+		mon := NewMonitor(ep, layout, st, interval)
 		r.mons = append(r.mons, mon)
-		k.Go(fmt.Sprintf("mon-%d", id), mon.Run)
+		k.Go(fmt.Sprintf("mon-%d", id), func(p *sim.Proc) { mon.Run(p) })
 		r.client.Seed(id, st.FreeBytes())
 	}
-	k.Go("mon-client", r.client.RunMonitor)
+	k.Go("mon-client", func(p *sim.Proc) { r.client.RunMonitor(p) })
 	r.stopAll = func() {
 		for _, m := range r.mons {
 			m.Stop()

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // TestFetchTimeoutRecoversFromCrashedStore exercises the full failure path:
@@ -258,10 +259,10 @@ func TestMigrateCmdRacingFetch(t *testing.T) {
 	layout := cluster.Layout{AppNodes: 1, MemNodes: 2}
 	nw := simnet.New(k, simnet.PaperATM(), layout.Total())
 	m := layout.MemIDs()
-	src := NewStore(nw, m[0], 32<<20, DefaultCosts())
-	dst := NewStore(nw, m[1], 32<<20, DefaultCosts())
-	k.Go("src", src.Run)
-	k.Go("dst", dst.Run)
+	src := NewStore(transport.NewSimEndpoint(nw, m[0]), 32<<20, DefaultCosts())
+	dst := NewStore(transport.NewSimEndpoint(nw, m[1]), 32<<20, DefaultCosts())
+	k.Go("src", func(p *sim.Proc) { src.Run(p) })
+	k.Go("dst", func(p *sim.Proc) { dst.Run(p) })
 
 	reply := nw.Inbox(0, cluster.PortMemReply)
 	done := nw.Inbox(0, cluster.PortMon)

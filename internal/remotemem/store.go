@@ -5,9 +5,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/memtable"
-	"repro/internal/sim"
-	"repro/internal/simnet"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 type lineKey struct {
@@ -21,7 +20,7 @@ type lineKey struct {
 // per node, as in the paper).
 type Store struct {
 	node  int
-	nw    *simnet.Network
+	ep    transport.Endpoint
 	costs Costs
 
 	capacity int64 // bytes of spare memory for swapped lines
@@ -42,12 +41,12 @@ type Store struct {
 	stores, fetches, updates, migratedOut, forwarded, droppedMsgs uint64
 }
 
-// NewStore creates a store server on the given node with the given spare
-// capacity; call Run from a simulation process to serve.
-func NewStore(nw *simnet.Network, node int, capacity int64, costs Costs) *Store {
+// NewStore creates a store server on the node bound to ep with the given
+// spare capacity; call Run from a node process to serve.
+func NewStore(ep transport.Endpoint, capacity int64, costs Costs) *Store {
 	return &Store{
-		node:     node,
-		nw:       nw,
+		node:     ep.Self(),
+		ep:       ep,
 		costs:    costs,
 		capacity: capacity,
 		lines:    make(map[lineKey][]memtable.Entry),
@@ -86,16 +85,19 @@ func (s *Store) DroppedMessages() uint64 { return s.droppedMsgs }
 // HeldLines returns how many lines the store currently holds.
 func (s *Store) HeldLines() int { return len(s.lines) }
 
-// Run serves requests forever (the simulation ends when traffic stops).
-func (s *Store) Run(p *sim.Proc) {
-	inbox := s.nw.Inbox(s.node, cluster.PortMem)
+// Run serves requests until the fabric is torn down (on the simulated
+// backend, until traffic stops).
+func (s *Store) Run(p transport.Proc) {
 	for {
-		m := inbox.Recv(p)
+		m, err := s.ep.Recv(p, cluster.PortMem)
+		if err != nil {
+			return // fabric torn down
+		}
 		s.handle(p, m)
 	}
 }
 
-func (s *Store) handle(p *sim.Proc, m simnet.Message) {
+func (s *Store) handle(p transport.Proc, m transport.Message) {
 	switch req := m.Payload.(type) {
 	case StoreMsg:
 		p.Work(s.costs.StoreService)
@@ -123,10 +125,10 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 				// Line migrated away; forward the request so the owner gets
 				// its reply from the new holder.
 				s.forwarded++
-				s.nw.Send(p, s.node, dest, cluster.PortMem, req, reqWireBytes)
+				s.send(p, dest, cluster.PortMem, req, reqWireBytes)
 				return
 			}
-			s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
+			s.send(p, req.Owner, cluster.PortMemReply,
 				FetchReply{Line: req.Line, Seq: req.Seq, Err: fmt.Sprintf("line %d not held by node %d", req.Line, s.node)},
 				reqWireBytes)
 			return
@@ -141,9 +143,9 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 				Bytes: int64(len(entries)) * memtable.EntryMemBytes,
 			})
 		}
-		s.nw.Send(p, s.node, req.Owner, cluster.PortMemReply,
+		s.send(p, req.Owner, cluster.PortMemReply,
 			FetchReply{Line: req.Line, Seq: req.Seq, Entries: entries},
-			lineWireBytes(s.nw.Config().BlockSize, len(entries)))
+			lineWireBytes(s.ep.BlockSize(), len(entries)))
 
 	case UpdateMsg:
 		p.Work(s.costs.UpdateService)
@@ -152,7 +154,7 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		if !ok {
 			if dest, fwd := s.forward[key]; fwd {
 				s.forwarded++
-				s.nw.Send(p, s.node, dest, cluster.PortMem, req, updateWireBytes)
+				s.send(p, dest, cluster.PortMem, req, updateWireBytes)
 			}
 			// A truly unknown line's update is dropped; the owner's state
 			// machine makes this unreachable in normal operation.
@@ -176,7 +178,7 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		// Transfer the listed lines to the destination store packed into
 		// message blocks, then notify the owner. Lines fetched concurrently
 		// (race) are skipped.
-		blockSize := s.nw.Config().BlockSize
+		blockSize := s.ep.BlockSize()
 		var moved []int
 		batch := MigrateBatch{Owner: req.Owner}
 		batchBytes := memtable.LineWireHeader
@@ -184,7 +186,7 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 			if len(batch.Lines) == 0 {
 				return
 			}
-			s.nw.Send(p, s.node, req.Dest, cluster.PortMem, batch, batchBytes)
+			s.send(p, req.Dest, cluster.PortMem, batch, batchBytes)
 			batch = MigrateBatch{Owner: req.Owner}
 			batchBytes = memtable.LineWireHeader
 		}
@@ -209,7 +211,7 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 			moved = append(moved, line)
 		}
 		flush()
-		s.nw.Send(p, s.node, req.Owner, cluster.PortMon,
+		s.send(p, req.Owner, cluster.PortMon,
 			MigrateDone{From: s.node, Dest: req.Dest, Lines: moved}, doneWireBytes)
 
 	case MigrateBatch:
@@ -239,6 +241,15 @@ func (s *Store) handle(p *sim.Proc, m simnet.Message) {
 		// A stray message must not kill the server; drop it and keep serving.
 		s.droppedMsgs++
 		s.logf("remotemem: store %d: dropping unknown message %T from node %d", s.node, m.Payload, m.From)
+	}
+}
+
+// send transmits best-effort: a server must keep serving other owners when
+// one peer's edge breaks, so failures are logged, not fatal.
+func (s *Store) send(p transport.Proc, to, port int, payload any, size int) {
+	if err := s.ep.Send(p, to, port, payload, size); err != nil {
+		s.droppedMsgs++
+		s.logf("remotemem: store %d: send to node %d failed: %v", s.node, to, err)
 	}
 }
 

@@ -1,0 +1,316 @@
+package remotemem
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memtable"
+	"repro/internal/rmtp"
+	"repro/internal/transport"
+)
+
+// TCPPagerStats count the pager's degraded-mode activity.
+type TCPPagerStats struct {
+	Stores          uint64 // lines shipped out
+	Fetches         uint64 // lines fetched back
+	Updates         uint64 // one-way increments sent
+	Failovers       uint64 // stores diverted to another server after a refusal
+	Recoveries      uint64 // fetches served from the shadow after a remote failure
+	Taints          uint64 // lines whose remote copy went stale (lost one-way updates)
+	VerifiedFetches uint64 // remote fetches proven identical to the shadow
+	Mismatches      uint64 // verified fetches that differed — a transport bug
+	Migrated        uint64 // lines relocated between servers by MigrateAll
+}
+
+// tcpLine is the pager's private record of one remotely-stored line.
+type tcpLine struct {
+	server  int              // index into the client fleet
+	shadow  []memtable.Entry // mirror of the remote copy, updates applied locally
+	epoch   uint64           // holder's ConnEpoch at the line's last remote write
+	tainted bool             // a remote write failed: the shadow is authoritative
+}
+
+// TCPPager implements memtable.Pager against a fleet of real rmserverd
+// processes over rmtp — the TCP backend's counterpart of the simulated
+// Client+Store pair. It carries the same resilience semantics the simulated
+// client models and oocmine.ResilientStore proved out on one connection,
+// generalized to a fleet:
+//
+//   - Store-outs rotate round-robin across the fleet and are acked
+//     (StoreAck); a refusal — capacity NACK, open breaker, dead server —
+//     fails over to the next server instead of losing the line.
+//   - Every stored line keeps a private shadow copy; one-way updates are
+//     mirrored into it.
+//   - Fetches use the protocol's lease-then-delete and verify against the
+//     shadow: a reply on the same connection epoch as the line's last write
+//     must match the shadow exactly (TCP ordering proves every one-way
+//     landed); an epoch change taints the line and the shadow wins; a failed
+//     fetch falls back to the shadow outright.
+//
+// Unlike the simulated Client, no virtual time is charged: operations take
+// the real network's time. Location.Node is the server's fleet index.
+type TCPPager struct {
+	mu      sync.Mutex
+	owner   string
+	addrs   []string
+	clients []*rmtp.Client
+	lines   map[int]*tcpLine
+	rr      int
+	stats   TCPPagerStats
+	logf    func(string, ...any)
+}
+
+// NewTCPPager dials every server in the fleet. owner namespaces this pager's
+// lines on the shared servers (use a per-node name, e.g. "miner-3").
+func NewTCPPager(owner string, addrs []string, opts rmtp.Options) (*TCPPager, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("remotemem: tcp pager needs at least one server")
+	}
+	tp := &TCPPager{
+		owner: owner,
+		addrs: append([]string(nil), addrs...),
+		lines: make(map[int]*tcpLine),
+		logf:  func(string, ...any) {},
+	}
+	for i, addr := range addrs {
+		cl, err := rmtp.DialOptions(addr, owner, opts)
+		if err != nil {
+			tp.Close()
+			return nil, fmt.Errorf("remotemem: tcp pager dial server %d at %s: %w", i, addr, err)
+		}
+		tp.clients = append(tp.clients, cl)
+	}
+	return tp, nil
+}
+
+// SetLogger directs diagnostic output (default: silent).
+func (tp *TCPPager) SetLogger(f func(string, ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	tp.logf = f
+}
+
+// Stats returns a copy of the counters.
+func (tp *TCPPager) Stats() TCPPagerStats {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	return tp.stats
+}
+
+// Servers returns the fleet size.
+func (tp *TCPPager) Servers() int { return len(tp.clients) }
+
+// ServerAddr returns the address of one fleet member.
+func (tp *TCPPager) ServerAddr(i int) string { return tp.addrs[i] }
+
+// Close closes every client connection.
+func (tp *TCPPager) Close() error {
+	var first error
+	for _, cl := range tp.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func toWire(entries []memtable.Entry) []rmtp.Entry {
+	out := make([]rmtp.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = rmtp.Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+func fromWire(entries []rmtp.Entry) []memtable.Entry {
+	out := make([]memtable.Entry, len(entries))
+	for i, e := range entries {
+		out[i] = memtable.Entry{Key: e.Key, Count: e.Count}
+	}
+	return out
+}
+
+// StoreOut ships a line to the fleet, rotating the first-choice server and
+// failing over to the others on refusal.
+func (tp *TCPPager) StoreOut(p transport.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
+	tp.mu.Lock()
+	first := tp.rr % len(tp.clients)
+	tp.rr++
+	tp.mu.Unlock()
+
+	wire := toWire(entries)
+	var lastErr error
+	for k := 0; k < len(tp.clients); k++ {
+		server := (first + k) % len(tp.clients)
+		if err := tp.clients[server].StoreAck(int32(line), wire); err != nil {
+			lastErr = err
+			tp.mu.Lock()
+			tp.stats.Failovers++
+			tp.mu.Unlock()
+			tp.logf("remotemem: %s: store line %d refused by server %d: %v", tp.owner, line, server, err)
+			continue
+		}
+		tp.mu.Lock()
+		tp.stats.Stores++
+		tp.lines[line] = &tcpLine{
+			server: server,
+			shadow: append([]memtable.Entry(nil), entries...),
+			epoch:  tp.clients[server].ConnEpoch(),
+		}
+		tp.mu.Unlock()
+		return memtable.Location{Node: server}, nil
+	}
+	return memtable.Location{}, fmt.Errorf("remotemem: %s: no server in the %d-node fleet accepted line %d: %w",
+		tp.owner, len(tp.clients), line, lastErr)
+}
+
+// Update applies a one-way increment, mirrored into the shadow. A failed
+// send taints the line: the shadow stays authoritative from there on.
+func (tp *TCPPager) Update(p transport.Proc, line int, loc memtable.Location, key string) error {
+	tp.mu.Lock()
+	st, ok := tp.lines[line]
+	if !ok {
+		tp.mu.Unlock()
+		return fmt.Errorf("remotemem: %s: update of unknown line %d", tp.owner, line)
+	}
+	for i := range st.shadow {
+		if st.shadow[i].Key == key {
+			st.shadow[i].Count++
+			break
+		}
+	}
+	if st.tainted {
+		tp.mu.Unlock()
+		return nil // remote copy already stale; don't widen the divergence
+	}
+	server := st.server
+	tp.mu.Unlock()
+
+	err := tp.clients[server].Update(int32(line), key)
+
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.stats.Updates++
+	if err != nil {
+		if !st.tainted {
+			st.tainted = true
+			tp.stats.Taints++
+			tp.logf("remotemem: %s: line %d tainted: update send failed: %v", tp.owner, line, err)
+		}
+		return nil // the shadow carries the count
+	}
+	st.epoch = tp.clients[server].ConnEpoch()
+	return nil
+}
+
+// FetchIn retrieves a line (lease-then-delete on the wire), verifying the
+// remote copy against the shadow and recovering from the shadow when the
+// remote copy failed, went stale, or cannot be trusted.
+func (tp *TCPPager) FetchIn(p transport.Proc, line int, loc memtable.Location) ([]memtable.Entry, error) {
+	tp.mu.Lock()
+	st, ok := tp.lines[line]
+	if !ok {
+		tp.mu.Unlock()
+		return nil, fmt.Errorf("remotemem: %s: fetch of unknown line %d", tp.owner, line)
+	}
+	server := st.server
+	if st.tainted {
+		delete(tp.lines, line)
+		tp.stats.Recoveries++
+		shadow := st.shadow
+		tp.mu.Unlock()
+		// Best-effort: release the stale remote copy so it stops holding
+		// server capacity. Its contents are ignored.
+		tp.clients[server].Fetch(int32(line))
+		return shadow, nil
+	}
+	tp.mu.Unlock()
+
+	entries, err := tp.clients[server].Fetch(int32(line))
+
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	delete(tp.lines, line)
+	if err != nil {
+		tp.stats.Recoveries++
+		tp.logf("remotemem: %s: line %d recovered from shadow: remote fetch: %v", tp.owner, line, err)
+		return st.shadow, nil
+	}
+	tp.stats.Fetches++
+	if tp.clients[server].ConnEpoch() != st.epoch {
+		// The connection turned over since the line's last write: one-way
+		// updates may have died in flight. The shadow is authoritative.
+		tp.stats.Taints++
+		tp.logf("remotemem: %s: line %d: connection epoch changed since last write; using shadow", tp.owner, line)
+		return st.shadow, nil
+	}
+	got := fromWire(entries)
+	if !tcpEntriesEqual(got, st.shadow) {
+		tp.stats.Mismatches++
+		tp.logf("remotemem: %s: line %d: verified fetch DIFFERS from shadow — transport bug", tp.owner, line)
+		return st.shadow, fmt.Errorf("remotemem: %s: line %d diverged from shadow on a verified fetch", tp.owner, line)
+	}
+	tp.stats.VerifiedFetches++
+	return got, nil
+}
+
+// MigrateAll asks server `from` to push every line this pager placed there
+// to server `dest` (the withdrawal path of the paper, over the real
+// protocol), returning the relocated line ids. The caller relocates the
+// lines in its table (memtable.Table.Relocate) with the returned ids.
+func (tp *TCPPager) MigrateAll(from, dest int) ([]int, error) {
+	if from == dest {
+		return nil, fmt.Errorf("remotemem: migrate from server %d to itself", from)
+	}
+	tp.mu.Lock()
+	var lines []int32
+	for line, st := range tp.lines {
+		if st.server == from && !st.tainted {
+			lines = append(lines, int32(line))
+		}
+	}
+	tp.mu.Unlock()
+	if len(lines) == 0 {
+		return nil, nil
+	}
+	moved, err := tp.clients[from].Migrate(tp.addrs[dest], lines)
+	if err != nil {
+		return nil, err
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	out := make([]int, 0, len(moved))
+	for _, l := range moved {
+		line := int(l)
+		st, ok := tp.lines[line]
+		if !ok || st.server != from {
+			continue // fetched or re-stored concurrently
+		}
+		st.server = dest
+		// Migrate is request/reply on from's connection, so its success
+		// confirms every earlier one-way on that connection was delivered
+		// before the push; the line's trust now hangs on dest's connection.
+		st.epoch = tp.clients[dest].ConnEpoch()
+		tp.stats.Migrated++
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+func tcpEntriesEqual(a, b []memtable.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+var _ memtable.Pager = (*TCPPager)(nil)

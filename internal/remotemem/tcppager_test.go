@@ -1,0 +1,215 @@
+package remotemem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/memtable"
+	"repro/internal/rmtp"
+	"repro/internal/transport"
+)
+
+func startTestFleet(t *testing.T, n int, capacity int64) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		s := rmtp.NewServer(capacity)
+		if err := s.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("server %d: %v", i, err)
+		}
+		t.Cleanup(func() { s.Close() })
+		addrs[i] = s.Addr()
+	}
+	return addrs
+}
+
+func testOpts() rmtp.Options {
+	return rmtp.Options{Timeout: 5 * time.Second, Retries: 2, Backoff: 10 * time.Millisecond}
+}
+
+func entries(kv ...any) []memtable.Entry {
+	var out []memtable.Entry
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, memtable.Entry{Key: kv[i].(string), Count: int32(kv[i+1].(int))})
+	}
+	return out
+}
+
+func TestTCPPagerStoreFetchRoundTrip(t *testing.T) {
+	addrs := startTestFleet(t, 2, 1<<20)
+	tp, err := NewTCPPager("t1", addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	p := transport.NewRealProc()
+	in := entries("a", 1, "b", 2, "c", 3)
+	loc, err := tp.StoreOut(p, 7, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Node < 0 || loc.Node >= 2 {
+		t.Fatalf("location node %d outside fleet", loc.Node)
+	}
+	got, err := tp.FetchIn(p, 7, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != in[0] || got[2] != in[2] {
+		t.Fatalf("fetched %v, stored %v", got, in)
+	}
+	st := tp.Stats()
+	if st.Stores != 1 || st.Fetches != 1 || st.VerifiedFetches != 1 || st.Mismatches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The fetch was lease-then-delete: the line is gone.
+	if _, err := tp.FetchIn(p, 7, loc); err == nil {
+		t.Error("second fetch of a consumed line succeeded")
+	}
+}
+
+func TestTCPPagerUpdateMirroredAndVerified(t *testing.T) {
+	addrs := startTestFleet(t, 1, 1<<20)
+	tp, err := NewTCPPager("t2", addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	p := transport.NewRealProc()
+	loc, err := tp.StoreOut(p, 1, entries("x", 10, "y", 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tp.Update(p, 1, loc, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tp.FetchIn(p, 1, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Count != 15 || got[1].Count != 20 {
+		t.Fatalf("after updates: %v", got)
+	}
+	st := tp.Stats()
+	if st.Updates != 5 || st.VerifiedFetches != 1 || st.Mismatches != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTCPPagerFailoverOnFullServer(t *testing.T) {
+	// Server 0 can hold almost nothing; stores rotated to it must fail over
+	// to server 1 instead of erroring out.
+	tiny := startTestFleet(t, 1, 64)
+	big := startTestFleet(t, 1, 1<<20)
+	tp, err := NewTCPPager("t3", []string{tiny[0], big[0]}, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	p := transport.NewRealProc()
+	line := entries("aaaaaaaa", 1, "bbbbbbbb", 2, "cccccccc", 3)
+	for i := 0; i < 6; i++ {
+		if _, err := tp.StoreOut(p, i, line); err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+	}
+	st := tp.Stats()
+	if st.Stores != 6 {
+		t.Errorf("stores = %d", st.Stores)
+	}
+	if st.Failovers == 0 {
+		t.Error("no failovers despite a full server in rotation")
+	}
+	for i := 0; i < 6; i++ {
+		got, err := tp.FetchIn(p, i, memtable.Location{})
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("fetch %d returned %v", i, got)
+		}
+	}
+}
+
+func TestTCPPagerShadowRecoveryAfterServerDeath(t *testing.T) {
+	srv := rmtp.NewServer(1 << 20)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	opts.Timeout = 300 * time.Millisecond
+	opts.Retries = 1
+	tp, err := NewTCPPager("t4", []string{srv.Addr()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	p := transport.NewRealProc()
+	in := entries("k1", 5, "k2", 7)
+	loc, err := tp.StoreOut(p, 3, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.Update(p, 3, loc, "k2"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // fail-stop: the remote copy is gone
+
+	got, err := tp.FetchIn(p, 3, loc)
+	if err != nil {
+		t.Fatalf("fetch after crash: %v", err)
+	}
+	if len(got) != 2 || got[0].Count != 5 || got[1].Count != 8 {
+		t.Fatalf("shadow recovery returned %v, want counts 5/8", got)
+	}
+	st := tp.Stats()
+	if st.Recoveries == 0 {
+		t.Errorf("no recovery recorded: %+v", st)
+	}
+}
+
+func TestTCPPagerMigrateAll(t *testing.T) {
+	addrs := startTestFleet(t, 2, 1<<20)
+	tp, err := NewTCPPager("t5", addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+
+	p := transport.NewRealProc()
+	locs := map[int]memtable.Location{}
+	for i := 0; i < 8; i++ {
+		loc, err := tp.StoreOut(p, i, entries("k", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs[i] = loc
+	}
+	// Round-robin put half the lines on server 0; push them all to 1.
+	moved, err := tp.MigrateAll(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 4 {
+		t.Fatalf("migrated %d lines, want 4", len(moved))
+	}
+	if st := tp.Stats(); st.Migrated != 4 {
+		t.Errorf("Migrated = %d", st.Migrated)
+	}
+	// Every line — moved or not — must still fetch with its counts intact.
+	for i := 0; i < 8; i++ {
+		got, err := tp.FetchIn(p, i, locs[i])
+		if err != nil {
+			t.Fatalf("fetch %d after migration: %v", i, err)
+		}
+		if len(got) != 1 || got[0].Count != int32(i+1) {
+			t.Fatalf("line %d = %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// Coordinator control messages. Registered with gob so the TCP backend can
+// carry them; the simulated backend passes them by reference.
+
+type barrierArrive struct {
+	Epoch int
+	From  int
+}
+
+type barrierRelease struct {
+	Epoch int
+}
+
+type gatherMsg struct {
+	Epoch   int
+	From    int
+	Payload any
+}
+
+func init() {
+	gob.Register(barrierArrive{})
+	gob.Register(barrierRelease{})
+	gob.Register(gatherMsg{})
+}
+
+const ctrlMsgBytes = 32
+
+// Coordinator mediates barriers and gathers among the application nodes.
+// Node 0 acts as the central coordinator, as a designated process would on
+// the real cluster. All application nodes must call the same sequence of
+// Barrier/GatherAll operations with strictly increasing epochs; messages for
+// a later epoch arriving early (nodes run ahead) are buffered. One
+// Coordinator serves one node (its endpoint's Self) on one control port.
+type Coordinator struct {
+	ep      Endpoint
+	n       int // application node count
+	port    int
+	pending []any // control payloads received but not yet consumed
+}
+
+// NewCoordinator creates the coordinator for endpoint ep's node among n
+// application nodes, exchanging control traffic on the given port.
+func NewCoordinator(ep Endpoint, n, port int) *Coordinator {
+	return &Coordinator{ep: ep, n: n, port: port}
+}
+
+// recvMatching returns the first buffered or newly received control payload
+// for which match returns true, buffering everything else.
+func (c *Coordinator) recvMatching(p Proc, match func(any) bool) (any, error) {
+	for i, pl := range c.pending {
+		if match(pl) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return pl, nil
+		}
+	}
+	for {
+		m, err := c.ep.Recv(p, c.port)
+		if err != nil {
+			return nil, err
+		}
+		if match(m.Payload) {
+			return m.Payload, nil
+		}
+		c.pending = append(c.pending, m.Payload)
+	}
+}
+
+// Barrier blocks until every application node has arrived at the same epoch.
+func (c *Coordinator) Barrier(p Proc, epoch int) error {
+	n := c.n
+	if n == 1 {
+		return nil
+	}
+	self := c.ep.Self()
+	if self == 0 {
+		for seen := 0; seen < n-1; seen++ {
+			if _, err := c.recvMatching(p, func(pl any) bool {
+				arr, ok := pl.(barrierArrive)
+				return ok && arr.Epoch == epoch
+			}); err != nil {
+				return fmt.Errorf("transport: barrier %d collect: %w", epoch, err)
+			}
+		}
+		for to := 1; to < n; to++ {
+			if err := c.ep.Send(p, to, c.port, barrierRelease{Epoch: epoch}, ctrlMsgBytes); err != nil {
+				return fmt.Errorf("transport: barrier %d release to %d: %w", epoch, to, err)
+			}
+		}
+		return nil
+	}
+	if err := c.ep.Send(p, 0, c.port, barrierArrive{Epoch: epoch, From: self}, ctrlMsgBytes); err != nil {
+		return fmt.Errorf("transport: barrier %d arrive: %w", epoch, err)
+	}
+	if _, err := c.recvMatching(p, func(pl any) bool {
+		rel, ok := pl.(barrierRelease)
+		return ok && rel.Epoch == epoch
+	}); err != nil {
+		return fmt.Errorf("transport: barrier %d wait: %w", epoch, err)
+	}
+	return nil
+}
+
+// GatherAll performs an all-to-all exchange: every application node
+// contributes payload (of the given wire size) and receives the payloads of
+// all nodes, indexed by node id. It is how pass results ("each processor...
+// broadcasts them to the other processors") propagate.
+func (c *Coordinator) GatherAll(p Proc, epoch int, payload any, size int) ([]any, error) {
+	n := c.n
+	self := c.ep.Self()
+	out := make([]any, n)
+	out[self] = payload
+	if n == 1 {
+		return out, nil
+	}
+	for to := 0; to < n; to++ {
+		if to == self {
+			continue
+		}
+		if err := c.ep.Send(p, to, c.port, gatherMsg{Epoch: epoch, From: self, Payload: payload}, size); err != nil {
+			return nil, fmt.Errorf("transport: gather %d send to %d: %w", epoch, to, err)
+		}
+	}
+	got := make([]bool, n)
+	got[self] = true
+	for seen := 0; seen < n-1; seen++ {
+		pl, err := c.recvMatching(p, func(pl any) bool {
+			g, ok := pl.(gatherMsg)
+			return ok && g.Epoch == epoch && !got[g.From]
+		})
+		if err != nil {
+			return nil, fmt.Errorf("transport: gather %d collect: %w", epoch, err)
+		}
+		g := pl.(gatherMsg)
+		out[g.From] = g.Payload
+		got[g.From] = true
+	}
+	return out, nil
+}

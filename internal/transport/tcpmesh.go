@@ -1,0 +1,492 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrMeshClosed is returned by Recv/Send on a mesh that has been closed.
+var ErrMeshClosed = errors.New("transport: mesh closed")
+
+// meshJoinTimeout bounds the whole bootstrap (registration + dialing).
+const meshJoinTimeout = 30 * time.Second
+
+// Bootstrap and data frames. Every connection starts with one meshHello;
+// registration connections then carry one meshTable back, data connections
+// carry meshFrames for the rest of their life.
+
+const (
+	helloReg  = 0 // node registering its listener address with node 0
+	helloData = 1 // peer's outbound data edge
+)
+
+type meshHello struct {
+	Kind int
+	From int
+	Addr string
+}
+
+type meshTable struct {
+	Addrs []string
+}
+
+type meshFrame struct {
+	From    int
+	Port    int
+	Size    int
+	Payload any
+}
+
+// meshInbox is an unbounded per-port delivery queue.
+type meshInbox struct {
+	mu     sync.Mutex
+	items  []Message
+	notify chan struct{} // cap 1; coalesced wake-up
+}
+
+func newMeshInbox() *meshInbox {
+	return &meshInbox{notify: make(chan struct{}, 1)}
+}
+
+func (b *meshInbox) push(m Message) {
+	b.mu.Lock()
+	b.items = append(b.items, m)
+	b.mu.Unlock()
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop takes the head item; on success it re-signals if items remain, so a
+// second waiter (unusual, but legal) is not lost to the coalesced wake-up.
+func (b *meshInbox) pop() (Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return Message{}, false
+	}
+	m := b.items[0]
+	b.items[0] = Message{}
+	b.items = b.items[1:]
+	if len(b.items) > 0 {
+		select {
+		case b.notify <- struct{}{}:
+		default:
+		}
+	}
+	return m, true
+}
+
+// meshConn is one outbound edge: a gob encoder guarded by a mutex, because a
+// node's main process and its sender process transmit concurrently.
+type meshConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// TCPMesh is one node's attachment to a full mesh of gob-framed TCP
+// connections between miner processes — the pilot system's "mesh topology"
+// of transport endpoints, on real sockets. Node 0's listener doubles as the
+// rendezvous point: other nodes register their own listener addresses with
+// it, receive the full address table, and then every node dials every peer
+// once for its outbound edge.
+type TCPMesh struct {
+	self, n   int
+	blockSize int
+	start     time.Time
+
+	ln     net.Listener
+	peers  []*meshConn // outbound edges, indexed by peer id (self nil)
+	inbox  sync.Map    // port int -> *meshInbox
+	closed chan struct{}
+	once   sync.Once
+
+	txMsgs, txBytes atomic.Uint64
+
+	// rendezvous state (node 0 only)
+	regMu    sync.Mutex
+	regAddrs []string
+	regConns []net.Conn
+	regDone  chan struct{}
+}
+
+// ListenMesh binds node 0's rendezvous listener for an n-node mesh and
+// starts accepting registrations in the background. Addr() is valid
+// immediately (so child processes can be pointed at it); Join completes the
+// bootstrap.
+func ListenMesh(n int, listen string, blockSize int) (*TCPMesh, error) {
+	if n < 1 {
+		return nil, errors.New("transport: mesh needs at least one node")
+	}
+	if blockSize <= 0 {
+		blockSize = 4096
+	}
+	m := newMesh(0, n, blockSize)
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	m.ln = ln
+	m.regAddrs = make([]string, n)
+	m.regAddrs[0] = ln.Addr().String()
+	m.regDone = make(chan struct{})
+	if n == 1 {
+		close(m.regDone)
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Join completes node 0's bootstrap: it waits for every other node to
+// register, replies with the address table, and dials each peer's data edge.
+func (m *TCPMesh) Join() error {
+	select {
+	case <-m.regDone:
+	case <-time.After(meshJoinTimeout):
+		return fmt.Errorf("transport: mesh rendezvous timed out waiting for %d peers", m.n-1)
+	case <-m.closed:
+		return ErrMeshClosed
+	}
+	m.regMu.Lock()
+	table := meshTable{Addrs: append([]string(nil), m.regAddrs...)}
+	conns := m.regConns
+	m.regConns = nil
+	m.regMu.Unlock()
+	for _, c := range conns {
+		if err := gob.NewEncoder(c).Encode(table); err != nil {
+			c.Close()
+			return fmt.Errorf("transport: mesh table send: %w", err)
+		}
+		c.Close()
+	}
+	return m.dialPeers(table.Addrs)
+}
+
+// JoinMesh bootstraps node self (> 0) of an n-node mesh: bind a listener,
+// register it with the rendezvous at coordAddr, receive the address table,
+// and dial every peer's data edge.
+func JoinMesh(self, n int, coordAddr string, blockSize int) (*TCPMesh, error) {
+	if self < 1 || self >= n {
+		return nil, fmt.Errorf("transport: mesh node %d of %d must join via ListenMesh or be in [1,%d)", self, n, n)
+	}
+	if blockSize <= 0 {
+		blockSize = 4096
+	}
+	m := newMesh(self, n, blockSize)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	m.ln = ln
+	go m.acceptLoop()
+
+	// Register with the rendezvous, retrying while it boots.
+	var conn net.Conn
+	deadline := time.Now().Add(meshJoinTimeout)
+	for {
+		conn, err = net.DialTimeout("tcp", coordAddr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			m.Close()
+			return nil, fmt.Errorf("transport: mesh rendezvous %s unreachable: %w", coordAddr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	conn.SetDeadline(time.Now().Add(meshJoinTimeout))
+	if err := gob.NewEncoder(conn).Encode(meshHello{Kind: helloReg, From: self, Addr: ln.Addr().String()}); err != nil {
+		conn.Close()
+		m.Close()
+		return nil, fmt.Errorf("transport: mesh register: %w", err)
+	}
+	var table meshTable
+	if err := gob.NewDecoder(conn).Decode(&table); err != nil {
+		conn.Close()
+		m.Close()
+		return nil, fmt.Errorf("transport: mesh table receive: %w", err)
+	}
+	conn.Close()
+	if len(table.Addrs) != n {
+		m.Close()
+		return nil, fmt.Errorf("transport: mesh table has %d addresses, want %d", len(table.Addrs), n)
+	}
+	if err := m.dialPeers(table.Addrs); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoopbackMeshes bootstraps a complete in-process n-node mesh on loopback
+// and returns one endpoint per node (tests and the fidelity experiment).
+func LoopbackMeshes(n, blockSize int) ([]*TCPMesh, error) {
+	m0, err := ListenMesh(n, "127.0.0.1:0", blockSize)
+	if err != nil {
+		return nil, err
+	}
+	meshes := make([]*TCPMesh, n)
+	errs := make([]error, n)
+	meshes[0] = m0
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			meshes[i], errs[i] = JoinMesh(i, n, m0.Addr(), blockSize)
+		}(i)
+	}
+	errs[0] = m0.Join()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, m := range meshes {
+				if m != nil {
+					m.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return meshes, nil
+}
+
+func newMesh(self, n, blockSize int) *TCPMesh {
+	return &TCPMesh{
+		self:      self,
+		n:         n,
+		blockSize: blockSize,
+		start:     time.Now(),
+		peers:     make([]*meshConn, n),
+		closed:    make(chan struct{}),
+	}
+}
+
+// Addr returns this node's listener address (node 0's is the rendezvous).
+func (m *TCPMesh) Addr() string { return m.ln.Addr().String() }
+
+// dialPeers opens this node's outbound edge to every peer.
+func (m *TCPMesh) dialPeers(addrs []string) error {
+	for j, addr := range addrs {
+		if j == m.self {
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", addr, meshJoinTimeout)
+		if err != nil {
+			return fmt.Errorf("transport: mesh dial peer %d at %s: %w", j, addr, err)
+		}
+		enc := gob.NewEncoder(conn)
+		if err := enc.Encode(meshHello{Kind: helloData, From: m.self}); err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: mesh hello to peer %d: %w", j, err)
+		}
+		m.peers[j] = &meshConn{conn: conn, enc: enc}
+	}
+	return nil
+}
+
+// acceptLoop serves inbound connections: registrations (node 0's rendezvous
+// role) and peer data edges.
+func (m *TCPMesh) acceptLoop() {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go m.serveConn(conn)
+	}
+}
+
+func (m *TCPMesh) serveConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	var hello meshHello
+	if err := dec.Decode(&hello); err != nil {
+		conn.Close()
+		return
+	}
+	switch hello.Kind {
+	case helloReg:
+		if m.self != 0 || hello.From < 1 || hello.From >= m.n {
+			conn.Close()
+			return
+		}
+		m.regMu.Lock()
+		if m.regAddrs[hello.From] == "" {
+			m.regAddrs[hello.From] = hello.Addr
+			m.regConns = append(m.regConns, conn)
+			if len(m.regConns) == m.n-1 {
+				close(m.regDone)
+			}
+		} else {
+			conn.Close() // duplicate registration
+		}
+		m.regMu.Unlock()
+		// The connection is parked until Join sends the table on it.
+	case helloData:
+		m.readLoop(hello.From, conn, dec)
+	default:
+		conn.Close()
+	}
+}
+
+// readLoop decodes data frames from one peer into the port inboxes.
+func (m *TCPMesh) readLoop(from int, conn net.Conn, dec *gob.Decoder) {
+	defer conn.Close()
+	for {
+		var f meshFrame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		m.inboxFor(f.Port).push(Message{
+			From: from, To: m.self, Port: f.Port,
+			Payload: f.Payload, Size: f.Size, SentAt: m.Now(),
+		})
+	}
+}
+
+func (m *TCPMesh) inboxFor(port int) *meshInbox {
+	if b, ok := m.inbox.Load(port); ok {
+		return b.(*meshInbox)
+	}
+	b, _ := m.inbox.LoadOrStore(port, newMeshInbox())
+	return b.(*meshInbox)
+}
+
+// Self returns the bound node id.
+func (m *TCPMesh) Self() int { return m.self }
+
+// Nodes returns the mesh size.
+func (m *TCPMesh) Nodes() int { return m.n }
+
+// BlockSize returns the modeled message block size (batching granularity).
+func (m *TCPMesh) BlockSize() int { return m.blockSize }
+
+// Now returns wall time elapsed since the mesh was created.
+func (m *TCPMesh) Now() sim.Time { return sim.Time(time.Since(m.start)) }
+
+// Send transmits payload to node `to` on `port`. Size is the modeled wire
+// size; it feeds the traffic counters (for sim-vs-TCP comparison) while the
+// actual bytes on the socket are whatever gob produces. A self-send
+// bypasses the socket, exactly as the simulated fabric bypasses the wire.
+func (m *TCPMesh) Send(p Proc, to, port int, payload any, size int) error {
+	if to < 0 || to >= m.n {
+		return fmt.Errorf("transport: mesh send to unknown node %d", to)
+	}
+	select {
+	case <-m.closed:
+		return ErrMeshClosed
+	default:
+	}
+	if to == m.self {
+		m.inboxFor(port).push(Message{
+			From: m.self, To: m.self, Port: port,
+			Payload: payload, Size: size, SentAt: m.Now(),
+		})
+		return nil
+	}
+	pc := m.peers[to]
+	if pc == nil {
+		return fmt.Errorf("transport: mesh has no edge to node %d (join incomplete)", to)
+	}
+	pc.mu.Lock()
+	err := pc.enc.Encode(meshFrame{From: m.self, Port: port, Size: size, Payload: payload})
+	pc.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("transport: mesh send to node %d: %w", to, err)
+	}
+	m.txMsgs.Add(1)
+	m.txBytes.Add(uint64(size))
+	return nil
+}
+
+// Recv blocks until a message arrives on the port.
+func (m *TCPMesh) Recv(p Proc, port int) (Message, error) {
+	b := m.inboxFor(port)
+	for {
+		if msg, ok := b.pop(); ok {
+			return msg, nil
+		}
+		select {
+		case <-b.notify:
+		case <-m.closed:
+			// Drain anything that raced with Close before reporting it.
+			if msg, ok := b.pop(); ok {
+				return msg, nil
+			}
+			return Message{}, ErrMeshClosed
+		}
+	}
+}
+
+// RecvTimeout is Recv bounded by a wall-clock deadline.
+func (m *TCPMesh) RecvTimeout(p Proc, port int, d sim.Duration) (Message, bool, error) {
+	if d <= 0 {
+		msg, err := m.Recv(p, port)
+		return msg, err == nil, err
+	}
+	b := m.inboxFor(port)
+	timer := time.NewTimer(time.Duration(d))
+	defer timer.Stop()
+	for {
+		if msg, ok := b.pop(); ok {
+			return msg, true, nil
+		}
+		select {
+		case <-b.notify:
+		case <-timer.C:
+			return Message{}, false, nil
+		case <-m.closed:
+			if msg, ok := b.pop(); ok {
+				return msg, true, nil
+			}
+			return Message{}, false, ErrMeshClosed
+		}
+	}
+}
+
+// Messages returns this node's modeled cross-wire message count (transmit
+// side; the simulated fabric's global counter has per-process visibility the
+// mesh cannot, so TCP counts are per node).
+func (m *TCPMesh) Messages() uint64 { return m.txMsgs.Load() }
+
+// Bytes returns this node's modeled cross-wire byte count.
+func (m *TCPMesh) Bytes() uint64 { return m.txBytes.Load() }
+
+// Close tears the mesh down: pending and future Recvs error with
+// ErrMeshClosed, the listener and all edges close.
+func (m *TCPMesh) Close() error {
+	m.once.Do(func() {
+		close(m.closed)
+		if m.ln != nil {
+			m.ln.Close()
+		}
+		for _, pc := range m.peers {
+			if pc != nil {
+				pc.mu.Lock()
+				pc.conn.Close()
+				pc.mu.Unlock()
+			}
+		}
+		m.regMu.Lock()
+		for _, c := range m.regConns {
+			c.Close()
+		}
+		m.regConns = nil
+		m.regMu.Unlock()
+	})
+	return nil
+}
+
+var (
+	_ Endpoint    = (*TCPMesh)(nil)
+	_ FabricStats = (*TCPMesh)(nil)
+)

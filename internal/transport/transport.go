@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"repro/internal/sim"
+)
+
+// Proc is the execution context a transport operation charges time against.
+// *sim.Proc satisfies it on the simulated backend; RealProc satisfies it on
+// the TCP backend, where Work charges accrue for accounting but real time is
+// not slept away.
+type Proc interface {
+	// Work accrues d of modeled CPU time, charged lazily.
+	Work(d sim.Duration)
+	// Sleep blocks the process for d (virtual or real, per backend).
+	Sleep(d sim.Duration)
+	// Now returns the current time on the backend's clock, including any
+	// pending Work charge.
+	Now() sim.Time
+	// Flush converts accumulated Work into elapsed time (simulated backend);
+	// a no-op where modeled charges do not advance the clock.
+	Flush()
+}
+
+// Message is a delivered transport message. Payload crosses by reference on
+// the simulated backend and by gob value over TCP; Size is the modeled wire
+// size either way and determines all simulated timing and traffic counters.
+type Message struct {
+	From, To int
+	Port     int
+	Payload  any
+	Size     int
+	SentAt   sim.Time
+}
+
+// Endpoint is one node's attachment to the cluster fabric: addressed sends
+// and per-port inbox receives. An Endpoint is bound to its node (Self); the
+// mining layers hold one per hosted node.
+type Endpoint interface {
+	// Self returns the node id this endpoint is bound to.
+	Self() int
+	// Nodes returns the cluster's total node count.
+	Nodes() int
+	// BlockSize returns the fabric's message block size in bytes (drives
+	// batching and line wire-size accounting).
+	BlockSize() int
+	// Now returns the fabric clock (for components outside a Proc context).
+	Now() sim.Time
+	// Send transmits payload of the given modeled wire size from Self to
+	// node `to` on `port`. The simulated backend blocks the caller for NIC
+	// occupancy and never errors; the TCP backend errors on a broken mesh.
+	Send(p Proc, to, port int, payload any, size int) error
+	// Recv blocks until a message arrives on the port's inbox.
+	Recv(p Proc, port int) (Message, error)
+	// RecvTimeout is Recv bounded by d; ok is false on timeout. A
+	// non-positive d degenerates to Recv.
+	RecvTimeout(p Proc, port int, d sim.Duration) (m Message, ok bool, err error)
+}
+
+// Handle tracks a spawned process.
+type Handle interface {
+	// Wait returns the process's error. On the simulated backend it is
+	// non-blocking — cooperative scheduling guarantees the spawned process
+	// has run to completion whenever its spawner can observe it through the
+	// fabric, so Wait just reads the recorded result. On the TCP backend it
+	// blocks until the goroutine returns.
+	Wait(p Proc) error
+}
+
+// Spawner starts processes on cluster nodes: kernel processes bound to the
+// node's CPU resource on the simulated backend, goroutines on the TCP
+// backend.
+type Spawner interface {
+	Go(node int, name string, fn func(p Proc) error) Handle
+}
+
+// FabricStats exposes fabric-wide traffic totals where the backend can
+// observe them (the simulated network); nil where it cannot.
+type FabricStats interface {
+	Messages() uint64
+	Bytes() uint64
+}
