@@ -44,3 +44,7 @@ func BenchmarkRMTPStoreFetchLoopback(b *testing.B) { perf.BenchRMTPStoreFetchLoo
 // Same round trip through the miner's actual TCP swap backend (shadow
 // copies, verified lease-then-delete fetches, failover rotation).
 func BenchmarkTCPPagerSwapLoopback(b *testing.B) { perf.BenchTCPPagerSwapLoopback(b) }
+
+// Per-pass durability tax of the supervised TCP fleet: one atomic
+// checkpoint save plus the respawn-side load.
+func BenchmarkCheckpointPass(b *testing.B) { perf.BenchCheckpointPass(b) }

@@ -27,9 +27,11 @@ import (
 	"os/exec"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/hpa"
 	"repro/internal/itemset"
@@ -61,6 +63,13 @@ func main() {
 		largeOut  = flag.String("large-out", "", "write the large itemsets with supports to this file (sorted, diffable)")
 		tcpNode   = flag.Int("tcp-node", -1, "internal: application node id hosted by this process (tcp)")
 		tcpCoord  = flag.String("tcp-coord", "", "internal: mesh rendezvous address for tcp nodes > 0")
+		supervise = flag.Bool("supervise", false, "tcp: arm mesh liveness, per-pass checkpoints, and miner respawn on crash")
+		ckptDir   = flag.String("ckpt-dir", "", "tcp: checkpoint directory (default: a temp dir when -supervise is set)")
+		restartLm = flag.Int("restart-limit", 8, "tcp: max miner respawns before the run is declared unrecoverable")
+		heartbeat = flag.Duration("heartbeat", 250*time.Millisecond, "tcp: mesh heartbeat period under -supervise")
+		spillDir  = flag.String("spill-dir", "", "tcp: arm a local-disk fallback tier for store-outs the fleet refuses")
+		chaosKill = flag.String("chaos-kill", "", "tcp fault injection: node=K:point:N kills child K's process at the N-th hit of the named killpoint")
+		resumeGen = flag.Int("tcp-resume-gen", 0, "internal: recovery generation of a respawned miner process")
 	)
 	flag.Parse()
 
@@ -74,7 +83,10 @@ func main() {
 		runTCP(tcpArgs{input: *input, d: *d, n: *n, seed: *seed, minsup: *minsup,
 			appNodes: *appNodes, memNodes: *memNodes, limit: *limit, device: *device,
 			policy: *policy, servers: *servers, largeOut: *largeOut,
-			node: *tcpNode, coord: *tcpCoord})
+			node: *tcpNode, coord: *tcpCoord,
+			supervise: *supervise, ckptDir: *ckptDir, restartLimit: *restartLm,
+			heartbeat: *heartbeat, spillDir: *spillDir, chaosKill: *chaosKill,
+			resumeGen: *resumeGen})
 	default:
 		log.Fatalf("unknown transport %q (want sim or tcp)", *transport)
 	}
@@ -189,6 +201,14 @@ type tcpArgs struct {
 	servers, largeOut  string
 	node               int
 	coord              string
+
+	supervise    bool
+	ckptDir      string
+	restartLimit int
+	heartbeat    time.Duration
+	spillDir     string
+	chaosKill    string
+	resumeGen    int
 }
 
 // workload regenerates the transaction set from the shared flags — every
@@ -236,7 +256,66 @@ func (a tcpArgs) config() core.TCPConfig {
 	if a.servers != "" {
 		cfg.Servers = strings.Split(a.servers, ",")
 	}
+	if a.supervise {
+		cfg.Heartbeat = a.heartbeat
+		cfg.CheckpointDir = a.ckptDir
+		cfg.Recovery = &hpa.RecoveryOptions{MaxRecoveries: a.restartLimit}
+		cfg.RestartLimit = a.restartLimit
+		cfg.ResumeGen = a.resumeGen
+	}
+	cfg.SpillDir = a.spillDir
 	return cfg
+}
+
+// childArgs builds the flag list for one child miner process; extra flags
+// (e.g. the resume generation of a respawn) are appended.
+func (a tcpArgs) childArgs(node int, meshAddr string, servers []string, extra ...string) []string {
+	args := []string{
+		"-transport=tcp",
+		fmt.Sprintf("-tcp-node=%d", node),
+		"-tcp-coord=" + meshAddr,
+		"-servers=" + strings.Join(servers, ","),
+		"-input=" + a.input,
+		fmt.Sprintf("-d=%d", a.d),
+		fmt.Sprintf("-n=%d", a.n),
+		fmt.Sprintf("-seed=%d", a.seed),
+		fmt.Sprintf("-minsup=%g", a.minsup),
+		fmt.Sprintf("-app=%d", a.appNodes),
+		fmt.Sprintf("-limit=%d", a.limit),
+		"-policy=" + a.policy,
+	}
+	if a.supervise {
+		args = append(args,
+			"-supervise",
+			"-ckpt-dir="+a.ckptDir,
+			fmt.Sprintf("-restart-limit=%d", a.restartLimit),
+			fmt.Sprintf("-heartbeat=%s", a.heartbeat),
+		)
+	}
+	if a.spillDir != "" {
+		args = append(args, "-spill-dir="+a.spillDir)
+	}
+	return append(args, extra...)
+}
+
+// parseChaosKill splits "node=K:spec" into the target node and the
+// REPRO_CHAOS_KILL spec armed on that child only.
+func parseChaosKill(s string) (node int, spec string, err error) {
+	rest, ok := strings.CutPrefix(s, "node=")
+	if !ok {
+		return 0, "", fmt.Errorf("chaos-kill %q: want node=K:point:N", s)
+	}
+	head, spec, ok := strings.Cut(rest, ":")
+	if !ok || spec == "" {
+		return 0, "", fmt.Errorf("chaos-kill %q: want node=K:point:N", s)
+	}
+	if _, err := fmt.Sscanf(head, "%d", &node); err != nil {
+		return 0, "", fmt.Errorf("chaos-kill %q: bad node id: %w", s, err)
+	}
+	if _, err := chaos.ParseKillSpec(spec); err != nil {
+		return 0, "", fmt.Errorf("chaos-kill %q: %w", s, err)
+	}
+	return node, spec, nil
 }
 
 func runTCP(a tcpArgs) {
@@ -264,6 +343,14 @@ func runTCP(a tcpArgs) {
 
 	// Driver process: host node 0, spawn the other nodes as child processes,
 	// and start an in-process server fleet when none was supplied.
+	if a.supervise && a.ckptDir == "" {
+		dir, err := os.MkdirTemp("", "hpaminer-ckpt-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		a.ckptDir = dir
+	}
 	cfg := a.config()
 	if a.limit > 0 && len(cfg.Servers) == 0 {
 		nsrv := a.memNodes
@@ -282,34 +369,78 @@ func runTCP(a tcpArgs) {
 	}
 	cfg.Node = 0
 
-	children := make([]*exec.Cmd, 0, a.appNodes-1)
-	cfg.OnReady = func(meshAddr string) {
-		self, err := os.Executable()
+	chaosNode := -1
+	chaosSpec := ""
+	if a.chaosKill != "" {
+		var err error
+		chaosNode, chaosSpec, err = parseChaosKill(a.chaosKill)
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Children never inherit the driver's kill spec; only the targeted node
+	// gets one, and a respawned replacement runs unarmed.
+	baseEnv := make([]string, 0, len(os.Environ()))
+	for _, kv := range os.Environ() {
+		if !strings.HasPrefix(kv, chaos.KillEnv+"=") {
+			baseEnv = append(baseEnv, kv)
+		}
+	}
+
+	var (
+		childMu  sync.Mutex
+		children = make(map[int]*exec.Cmd)
+		meshAddr string
+	)
+	spawnChild := func(node int, armChaos bool, extra ...string) error {
+		cmd := exec.Command(self, a.childArgs(node, meshAddr, cfg.Servers, extra...)...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		cmd.Env = baseEnv
+		if armChaos {
+			cmd.Env = append(append([]string(nil), baseEnv...), chaos.KillEnv+"="+chaosSpec)
+		}
+		setPdeathsig(cmd)
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn node %d: %w", node, err)
+		}
+		childMu.Lock()
+		children[node] = cmd
+		childMu.Unlock()
+		return nil
+	}
+
+	cfg.OnReady = func(addr string) {
+		meshAddr = addr
 		for i := 1; i < a.appNodes; i++ {
-			args := []string{
-				"-transport=tcp",
-				fmt.Sprintf("-tcp-node=%d", i),
-				"-tcp-coord=" + meshAddr,
-				"-servers=" + strings.Join(cfg.Servers, ","),
-				"-input=" + a.input,
-				fmt.Sprintf("-d=%d", a.d),
-				fmt.Sprintf("-n=%d", a.n),
-				fmt.Sprintf("-seed=%d", a.seed),
-				fmt.Sprintf("-minsup=%g", a.minsup),
-				fmt.Sprintf("-app=%d", a.appNodes),
-				fmt.Sprintf("-limit=%d", a.limit),
-				"-policy=" + a.policy,
+			if err := spawnChild(i, i == chaosNode); err != nil {
+				log.Fatal(err)
 			}
-			cmd := exec.Command(self, args...)
-			cmd.Stdout = os.Stderr
-			cmd.Stderr = os.Stderr
-			if err := cmd.Start(); err != nil {
-				log.Fatalf("spawn node %d: %v", i, err)
+		}
+	}
+	if a.supervise {
+		cfg.Respawn = func(rank, gen int) error {
+			childMu.Lock()
+			old := children[rank]
+			delete(children, rank)
+			childMu.Unlock()
+			if old != nil {
+				// Make sure the old process is really gone (a wedged-but-
+				// alive child would fight its replacement for the rank),
+				// then reap it. A clean exit is mining finishing, not a
+				// crash: no replacement.
+				old.Process.Kill()
+				if werr := old.Wait(); werr == nil {
+					return core.ErrCleanExit
+				} else {
+					log.Printf("supervisor: node %d process died (%v); respawning at generation %d", rank, werr, gen)
+				}
 			}
-			children = append(children, cmd)
+			return spawnChild(rank, false, fmt.Sprintf("-tcp-resume-gen=%d", gen))
 		}
 	}
 
@@ -318,9 +449,22 @@ func runTCP(a tcpArgs) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, cmd := range children {
+	childMu.Lock()
+	waiting := make(map[int]*exec.Cmd, len(children))
+	for node, cmd := range children {
+		waiting[node] = cmd
+	}
+	childMu.Unlock()
+	for node, cmd := range waiting {
 		if werr := cmd.Wait(); werr != nil {
-			log.Fatalf("node %d process failed: %v", i+1, werr)
+			if a.supervise {
+				// The mined result is already complete and verified; a child
+				// dying on its way out (e.g. a late chaos kill) is reported,
+				// not fatal.
+				log.Printf("node %d process exited with error after completion: %v", node, werr)
+			} else {
+				log.Fatalf("node %d process failed: %v", node, werr)
+			}
 		}
 	}
 	res := info.Result
@@ -354,6 +498,28 @@ func runTCP(a tcpArgs) {
 		}
 		fmt.Printf("  rmtp: %d stores, %d fetches (%d verified), %d shadow recoveries\n",
 			stores, fetches, verified, recoveries)
+		var spilled, nacks uint64
+		for _, ps := range info.Pagers {
+			if ps != nil {
+				nacks += ps.CapacityNacks
+			}
+		}
+		for _, fb := range info.Fallbacks {
+			spilled += fb
+		}
+		if spilled > 0 || nacks > 0 {
+			fmt.Printf("  backpressure: %d capacity NACKs, %d lines spilled to disk\n", nacks, spilled)
+		}
+	}
+	if info.Restarts > 0 {
+		fmt.Printf("resilience: %d miner respawn(s); per-node: ", info.Restarts)
+		for id, ns := range res.PerNode {
+			if id > 0 {
+				fmt.Print("; ")
+			}
+			fmt.Printf("n%d[%s]", id, ns.Resilience.String())
+		}
+		fmt.Println()
 	}
 	fmt.Printf("network (node 0 tx): %d messages, %.1f MB\n",
 		info.MeshMessages, float64(info.MeshBytes)/(1<<20))

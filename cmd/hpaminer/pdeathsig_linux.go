@@ -1,0 +1,17 @@
+//go:build linux
+
+package main
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setPdeathsig makes the kernel SIGKILL the child if the driver dies first,
+// so a crashed driver never leaves orphan miners holding the mesh ports.
+func setPdeathsig(cmd *exec.Cmd) {
+	if cmd.SysProcAttr == nil {
+		cmd.SysProcAttr = &syscall.SysProcAttr{}
+	}
+	cmd.SysProcAttr.Pdeathsig = syscall.SIGKILL
+}

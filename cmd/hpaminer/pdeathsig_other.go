@@ -1,0 +1,8 @@
+//go:build !linux
+
+package main
+
+import "os/exec"
+
+// setPdeathsig is a no-op off Linux (no parent-death signal there).
+func setPdeathsig(cmd *exec.Cmd) {}

@@ -14,7 +14,7 @@
 package main
 
 import (
-	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"log"
@@ -72,19 +72,22 @@ func main() {
 		maxConns    = flag.Int("max-conns", 0, "refuse sessions past this many concurrent connections (0 = unlimited)")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop sessions silent for this long (0 = never)")
 		maxFrame    = flag.Int("max-frame", 0, "reject frames with payloads over this many bytes (0 = protocol ceiling)")
+		watermark   = flag.Float64("soft-watermark", 0, "flag acked stores once occupancy passes this fraction of capacity (0 disables)")
+		drainGrace  = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace: in-flight sessions get this long to finish")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	srv := rmtp.NewServerOptions(*capacity, rmtp.ServerOptions{
 		MaxConns:      *maxConns,
 		IdleTimeout:   *idleTimeout,
 		MaxFrameBytes: *maxFrame,
+		SoftWatermark: *watermark,
 	})
 	srv.SetLogger(log.Printf)
-	if err := srv.ListenContext(ctx, *addr); err != nil {
+	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("lending %d MB of memory on %s", *capacity>>20, srv.Addr())
@@ -110,7 +113,19 @@ func main() {
 		}()
 	}
 
-	<-ctx.Done()
-	log.Print("shutting down")
-	srv.Close()
+	// First signal: graceful drain — stop accepting, let in-flight sessions
+	// finish within the grace period, then flush a final metrics snapshot.
+	// A second signal forces exit immediately.
+	s := <-sig
+	log.Printf("%s: draining (grace %s; send again to force exit)", s, *drainGrace)
+	go func() {
+		s := <-sig
+		log.Printf("%s: forcing exit", s)
+		os.Exit(1)
+	}()
+	srv.Drain(*drainGrace)
+	if b, err := json.Marshal(srv.Metrics().Snapshot("rmtp").Map()); err == nil {
+		log.Printf("final metrics: %s", b)
+	}
+	log.Print("drained, shutting down")
 }

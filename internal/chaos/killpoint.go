@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Process-level killpoints: named code sites at which an armed process
+// SIGKILLs itself after a seeded number of hits. Unlike the fault-injecting
+// proxy (which models network failures), killpoints model the process
+// failures the supervisor must survive — a miner dying mid-pass, or dying
+// halfway through writing a checkpoint. Arming is per-process via an
+// environment variable, so a test driver can condemn exactly one child of a
+// multi-process fleet; an unarmed process pays one atomic load per hit.
+
+// KillEnv holds the killpoint schedule: comma-separated "point:N" terms.
+// The process SIGKILLs itself on the N-th hit of each named point.
+const KillEnv = "REPRO_CHAOS_KILL"
+
+// Killpoint names wired into the production code paths.
+const (
+	KPPass2Block      = "pass2-block"      // per candidate block sent during pass 2
+	KPCheckpointWrite = "checkpoint-write" // between checkpoint temp write and rename
+	KPPassStart       = "pass-start"       // at the top of each mining pass
+)
+
+type killpoint struct {
+	at   int64
+	hits atomic.Int64
+}
+
+var (
+	kpOnce  sync.Once
+	kpArmed atomic.Bool
+	kpMu    sync.Mutex
+	kpMap   map[string]*killpoint
+)
+
+func kpInit() {
+	kpOnce.Do(func() {
+		spec := os.Getenv(KillEnv)
+		if spec == "" {
+			return
+		}
+		m, err := ParseKillSpec(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: ignoring %s=%q: %v\n", KillEnv, spec, err)
+			return
+		}
+		kpMu.Lock()
+		kpMap = make(map[string]*killpoint, len(m))
+		for point, n := range m {
+			kpMap[point] = &killpoint{at: int64(n)}
+		}
+		kpMu.Unlock()
+		kpArmed.Store(true)
+	})
+}
+
+// ParseKillSpec parses a KillEnv schedule ("point:N[,point:N...]").
+func ParseKillSpec(spec string) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		point, nStr, ok := strings.Cut(term, ":")
+		if !ok {
+			return nil, fmt.Errorf("term %q is not point:N", term)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("term %q has bad hit count", term)
+		}
+		out[point] = n
+	}
+	return out, nil
+}
+
+// Hit records one execution of the named killpoint. If this process was
+// armed for the point and this is the scheduled hit, the process SIGKILLs
+// itself — no deferred functions, no flushes, exactly like a crash.
+func Hit(point string) {
+	kpInit()
+	if !kpArmed.Load() {
+		return
+	}
+	kpMu.Lock()
+	kp := kpMap[point]
+	kpMu.Unlock()
+	if kp == nil {
+		return
+	}
+	if kp.hits.Add(1) == kp.at {
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // SIGKILL is not synchronous; never execute past the point
+	}
+}

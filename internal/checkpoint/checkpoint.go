@@ -1,0 +1,164 @@
+// Package checkpoint persists per-miner pass state so a supervisor can
+// respawn a crashed miner and replay it to the pass the cluster is on.
+//
+// A checkpoint is tiny by design — the paper's insight is that the frequent
+// itemsets of a pass, not the hash table built during it, are the durable
+// product of a pass: the table is reconstructed from the (deterministic)
+// partition on replay. So the state is just the pass number, that pass's
+// frequent itemsets, and digests that prove the replacement process is
+// looking at the same partition and parameters as the process that died.
+//
+// Saves are atomic: the state is written to a temp file in the same
+// directory and renamed over the previous checkpoint, so a crash mid-write
+// (exercised by the chaos killpoint between write and rename) leaves the
+// previous pass's checkpoint intact.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chaos"
+	"repro/internal/itemset"
+)
+
+// Counters is the slice of a miner's pass-2 statistics that must survive a
+// restart (they are recorded once, during pass 2, and feed the final report).
+type Counters struct {
+	Pass2Candidates   int
+	Pagefaults        uint64
+	Evictions         uint64
+	Updates           uint64
+	PeakResidentBytes int64
+}
+
+// State is one miner's durable mining state after finishing a pass.
+type State struct {
+	Node int
+	Pass int // last fully finished pass; replay starts at Pass+1
+	// Large holds pass Pass's global frequent itemsets — the prevLarge
+	// input of pass Pass+1 (identical on every node by construction).
+	Large []itemset.Itemset
+	// PrevLarge holds pass Pass-1's global frequent itemsets, kept because
+	// the cluster-wide resync may roll the replay back to pass Pass itself
+	// (a survivor that never finished it votes lower than this node).
+	PrevLarge []itemset.Itemset
+	// ParamsDigest and PartDigest bind the checkpoint to a mining job: a
+	// replacement process with a different workload must not resume.
+	ParamsDigest uint64
+	PartDigest   uint64
+	Counters     Counters
+}
+
+// Store reads and writes the checkpoint of one node in a shared directory.
+type Store struct {
+	dir  string
+	node int
+}
+
+// NewStore opens (creating if needed) the checkpoint directory for a node.
+func NewStore(dir string, node int) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir, node: node}, nil
+}
+
+// Path returns the node's checkpoint file path.
+func (s *Store) Path() string {
+	return filepath.Join(s.dir, fmt.Sprintf("node%d.ckpt", s.node))
+}
+
+// Save atomically persists the state: temp write, fsync, rename. A crash at
+// any point leaves either the previous checkpoint or the new one, never a
+// torn file.
+func (s *Store) Save(st *State) error {
+	tmp, err := os.CreateTemp(s.dir, fmt.Sprintf("node%d-*.tmp", s.node))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(st); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	chaos.Hit(chaos.KPCheckpointWrite)
+	if err := os.Rename(tmp.Name(), s.Path()); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the node's checkpoint. A missing file is not an error: it
+// returns (nil, nil), meaning "replay from the beginning".
+func (s *Store) Load() (*State, error) {
+	f, err := os.Open(s.Path())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var st State
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode %s: %w", s.Path(), err)
+	}
+	if st.Node != s.node {
+		return nil, fmt.Errorf("checkpoint: %s holds node %d's state, want node %d", s.Path(), st.Node, s.node)
+	}
+	return &st, nil
+}
+
+// Remove deletes the node's checkpoint (end of a successful run).
+func (s *Store) Remove() error {
+	err := os.Remove(s.Path())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// DigestTxns fingerprints a transaction partition.
+func DigestTxns(txns []itemset.Itemset) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	put := func(v int32) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:])
+	}
+	put(int32(len(txns)))
+	for _, t := range txns {
+		put(int32(len(t)))
+		for _, it := range t {
+			put(int32(it))
+		}
+	}
+	return h.Sum64()
+}
+
+// DigestParams fingerprints the run parameters that shape the result.
+func DigestParams(parts ...any) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v", parts)
+	return h.Sum64()
+}

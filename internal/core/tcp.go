@@ -3,8 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/hpa"
 	"repro/internal/itemset"
@@ -52,6 +56,94 @@ type TCPConfig struct {
 	// OnReady, when set, is called with the mesh rendezvous address once
 	// node 0's listener is bound (so a parent can spawn the other processes).
 	OnReady func(meshAddr string)
+
+	// Heartbeat arms the mesh liveness layer: peers exchange heartbeats and
+	// a silent or reset peer is declared dead, turning hung collectives into
+	// typed *transport.PeerLostError failures. Zero leaves liveness off (the
+	// pre-fault-tolerance behavior).
+	Heartbeat time.Duration
+	// PeerTimeout is the silence threshold before a peer is declared dead
+	// (default 8×Heartbeat).
+	PeerTimeout time.Duration
+	// CheckpointDir, when set, persists each local node's state after every
+	// pass, and — on a respawned process (ResumeGen > 0) — restores it.
+	CheckpointDir string
+	// ResumeGen > 0 marks this process as a replacement for a crashed miner:
+	// it rejoins the live mesh through Coord instead of the initial
+	// rendezvous, restores its checkpoint, and replays to the cluster's pass.
+	ResumeGen int
+	// Recovery arms peer-loss recovery in the mining loop (survivors wait for
+	// the lost rank's replacement and replay the interrupted pass). Requires
+	// Heartbeat. Nil leaves recovery off even with liveness on.
+	Recovery *hpa.RecoveryOptions
+	// Respawn, when set, makes this process the fleet supervisor: it is
+	// called once per directly observed peer death with the dead rank and the
+	// recovery generation its replacement must resume at. Return ErrCleanExit
+	// when the rank's process had exited cleanly (mining finished) to skip
+	// the respawn; any other error aborts the run.
+	Respawn func(rank, gen int) error
+	// RestartLimit caps supervisor respawns before the run is declared
+	// unrecoverable (default 8).
+	RestartLimit int
+	// SpillDir, when set, arms a local-disk fallback tier: store-outs the
+	// whole server fleet refuses (capacity NACKs, open breakers, dead
+	// servers) divert to a spill file there instead of failing the run.
+	SpillDir string
+}
+
+// ErrCleanExit is returned by a Respawn callback to report that the lost
+// rank's process exited cleanly — mining finished, nothing to respawn.
+var ErrCleanExit = errors.New("core: peer exited cleanly")
+
+// supervisor reacts to directly observed peer deaths on the supervising
+// process: it respawns the dead rank's miner (bounded by the restart limit)
+// and aborts the whole run when respawning fails or runs out.
+type supervisor struct {
+	mu       sync.Mutex
+	respawn  func(rank, gen int) error
+	limit    int
+	restarts int
+	stopped  bool
+	failed   bool
+	abort    func() // closes the local meshes, failing every collective
+}
+
+func (s *supervisor) peerLost(rank int, cause error) {
+	s.mu.Lock()
+	if s.stopped || s.failed {
+		s.mu.Unlock()
+		return
+	}
+	s.restarts++
+	gen := s.restarts
+	if s.restarts > s.limit {
+		s.failed = true
+		s.mu.Unlock()
+		s.abort()
+		return
+	}
+	s.mu.Unlock()
+	err := s.respawn(rank, gen)
+	if errors.Is(err, ErrCleanExit) {
+		s.mu.Lock()
+		s.restarts-- // not a restart; don't burn the limit on a clean exit
+		s.mu.Unlock()
+		return
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.failed = true
+		s.mu.Unlock()
+		s.abort()
+	}
+}
+
+// stop ends supervision (mining finished: subsequent peer exits are normal).
+func (s *supervisor) stop() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	return s.restarts
 }
 
 // TCPRunInfo is the outcome of one process's share of a TCP run.
@@ -67,6 +159,14 @@ type TCPRunInfo struct {
 	// Pagers exposes the per-local-node TCP pager stats (nil entries for
 	// nodes without a pager).
 	Pagers []*remotemem.TCPPagerStats
+	// Spills exposes the per-local-node disk fallback tier stats (nil when
+	// SpillDir was unset or the node never spilled).
+	Spills []*memtable.FilePagerStats
+	// Fallbacks[id] counts node id's store-outs diverted to the disk tier.
+	Fallbacks []uint64
+	// Restarts is how many miner respawns this process's supervisor
+	// performed (0 on non-supervising processes and fault-free runs).
+	Restarts int
 }
 
 // RunTCP executes this process's share of an HPA run over a live TCP mesh.
@@ -85,6 +185,27 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = 4096
 	}
+	if cfg.ResumeGen > 0 && (cfg.Node < 1 || cfg.Heartbeat <= 0 || cfg.CheckpointDir == "") {
+		return nil, errors.New("core: resuming needs a node > 0, liveness (Heartbeat), and a checkpoint dir")
+	}
+
+	opts := transport.MeshOptions{
+		BlockSize:   cfg.BlockSize,
+		Heartbeat:   cfg.Heartbeat,
+		PeerTimeout: cfg.PeerTimeout,
+	}
+	var superv *supervisor
+	if cfg.Respawn != nil {
+		if cfg.Heartbeat <= 0 {
+			return nil, errors.New("core: a supervisor (Respawn) requires liveness (Heartbeat)")
+		}
+		limit := cfg.RestartLimit
+		if limit <= 0 {
+			limit = 8
+		}
+		superv = &supervisor{respawn: cfg.Respawn, limit: limit}
+		opts.OnPeerLost = superv.peerLost
+	}
 
 	// Bootstrap the mesh: all nodes in-process, or this process's one node.
 	var local []int
@@ -92,7 +213,7 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 	switch {
 	case cfg.Node == -1:
 		if cfg.AppNodes == 1 {
-			m, err := transport.ListenMesh(1, listenAddr(cfg), cfg.BlockSize)
+			m, err := transport.ListenMeshOpts(1, listenAddr(cfg), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +226,7 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 			}
 			meshes[0] = m
 		} else {
-			ms, err := transport.LoopbackMeshes(cfg.AppNodes, cfg.BlockSize)
+			ms, err := transport.LoopbackMeshesOpts(cfg.AppNodes, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -118,7 +239,7 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 			local = append(local, i)
 		}
 	case cfg.Node == 0:
-		m, err := transport.ListenMesh(cfg.AppNodes, listenAddr(cfg), cfg.BlockSize)
+		m, err := transport.ListenMeshOpts(cfg.AppNodes, listenAddr(cfg), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -131,16 +252,35 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 		}
 		meshes[0] = m
 		local = []int{0}
-	default:
+	case cfg.ResumeGen > 0:
 		if cfg.Coord == "" {
-			return nil, errors.New("core: tcp node > 0 needs the rendezvous address (-tcp-coord)")
+			return nil, errors.New("core: a resuming node needs the rendezvous address (-tcp-coord)")
 		}
-		m, err := transport.JoinMesh(cfg.Node, cfg.AppNodes, cfg.Coord, cfg.BlockSize)
+		m, err := transport.RejoinMesh(cfg.Node, cfg.AppNodes, cfg.Coord, opts)
 		if err != nil {
 			return nil, err
 		}
 		meshes[cfg.Node] = m
 		local = []int{cfg.Node}
+	default:
+		if cfg.Coord == "" {
+			return nil, errors.New("core: tcp node > 0 needs the rendezvous address (-tcp-coord)")
+		}
+		m, err := transport.JoinMeshOpts(cfg.Node, cfg.AppNodes, cfg.Coord, opts)
+		if err != nil {
+			return nil, err
+		}
+		meshes[cfg.Node] = m
+		local = []int{cfg.Node}
+	}
+	if superv != nil {
+		superv.abort = func() {
+			for _, m := range meshes {
+				if m != nil {
+					m.Close()
+				}
+			}
+		}
 	}
 	defer func() {
 		for _, m := range meshes {
@@ -160,6 +300,8 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 
 	pagers := make([]memtable.Pager, cfg.AppNodes)
 	tcpPagers := make([]*remotemem.TCPPager, cfg.AppNodes)
+	spillPagers := make([]*memtable.FilePager, cfg.AppNodes)
+	fallbacks := make([]*memtable.FallbackPager, cfg.AppNodes)
 	if cfg.LimitBytes > 0 {
 		for _, id := range local {
 			tp, err := remotemem.NewTCPPager(fmt.Sprintf("miner-%d", id), cfg.Servers, cfg.ClientOptions)
@@ -169,18 +311,58 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 			defer tp.Close()
 			tcpPagers[id] = tp
 			pagers[id] = tp
+			if cfg.SpillDir != "" {
+				if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+					return nil, fmt.Errorf("core: spill dir: %w", err)
+				}
+				fp, err := memtable.NewFilePager(filepath.Join(cfg.SpillDir, fmt.Sprintf("spill-node%d.dat", id)))
+				if err != nil {
+					return nil, err
+				}
+				defer fp.Close()
+				spillPagers[id] = fp
+				fb := &memtable.FallbackPager{Primary: tp, Secondary: fp}
+				fallbacks[id] = fb
+				pagers[id] = fb
+			}
+		}
+	}
+
+	// Checkpoint stores: written after every pass; on a respawned process the
+	// single local node's state is restored before mining starts.
+	var ckpts []*checkpoint.Store
+	var resume *checkpoint.State
+	if cfg.CheckpointDir != "" {
+		ckpts = make([]*checkpoint.Store, cfg.AppNodes)
+		for _, id := range local {
+			st, err := checkpoint.NewStore(cfg.CheckpointDir, id)
+			if err != nil {
+				return nil, err
+			}
+			ckpts[id] = st
+		}
+		if cfg.ResumeGen > 0 {
+			st, err := ckpts[local[0]].Load()
+			if err != nil {
+				return nil, err
+			}
+			resume = st // nil = no checkpoint survived; replay from pass 1
 		}
 	}
 
 	spawn := &transport.RealSpawner{}
 	env := hpa.Env{
-		Spawn:  spawn,
-		Layout: layout,
-		Links:  eps,
-		Coords: coords,
-		Local:  local,
-		Pagers: pagers,
-		Txns:   parts,
+		Spawn:     spawn,
+		Layout:    layout,
+		Links:     eps,
+		Coords:    coords,
+		Local:     local,
+		Pagers:    pagers,
+		Txns:      parts,
+		Ckpts:     ckpts,
+		Resume:    resume,
+		ResumeGen: cfg.ResumeGen,
+		Recovery:  cfg.Recovery,
 	}
 	params := hpa.Params{
 		MinSupport: cfg.MinSupport,
@@ -199,15 +381,24 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 		return nil, err
 	}
 	spawn.WaitAll()
+	restarts := 0
+	if superv != nil {
+		// Mining finished (or failed) on every local node; peers exiting
+		// from here on are normal completions, not crashes.
+		restarts = superv.stop()
+	}
 
 	res, err := pending.Result()
 	if err != nil {
 		return nil, err
 	}
 	info := &TCPRunInfo{
-		Result: res,
-		Wall:   time.Since(start),
-		Pagers: make([]*remotemem.TCPPagerStats, cfg.AppNodes),
+		Result:    res,
+		Wall:      time.Since(start),
+		Pagers:    make([]*remotemem.TCPPagerStats, cfg.AppNodes),
+		Spills:    make([]*memtable.FilePagerStats, cfg.AppNodes),
+		Fallbacks: make([]uint64, cfg.AppNodes),
+		Restarts:  restarts,
 	}
 	for _, id := range local {
 		info.MeshMessages += meshes[id].Messages()
@@ -215,6 +406,25 @@ func RunTCP(cfg TCPConfig, parts [][]itemset.Itemset) (*TCPRunInfo, error) {
 		if tcpPagers[id] != nil {
 			st := tcpPagers[id].Stats()
 			info.Pagers[id] = &st
+			// Fold the degraded-mode activity into the node's resilience row
+			// so sim and TCP runs report faults through the same lens.
+			r := &res.PerNode[id].Resilience
+			r.Failovers += st.Failovers
+			r.LinesLost += st.Recoveries
+		}
+		if fallbacks[id] != nil {
+			fb := fallbacks[id].FallbackStores()
+			info.Fallbacks[id] = fb
+			res.PerNode[id].Resilience.FallbackStores += fb
+		}
+		if spillPagers[id] != nil {
+			st := spillPagers[id].Stats()
+			info.Spills[id] = &st
+		}
+		// A run that completed successfully no longer needs its checkpoint;
+		// leaving it would poison an unrelated later run's resume.
+		if ckpts != nil && ckpts[id] != nil {
+			ckpts[id].Remove()
 		}
 	}
 	// The mesh only observes its own transmit side; expose the sum for the

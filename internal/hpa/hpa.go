@@ -3,10 +3,12 @@ package hpa
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sync"
 
 	"repro/internal/apriori"
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/itemset"
 	"repro/internal/memtable"
@@ -144,6 +146,44 @@ type Env struct {
 	// table gauges (resident_bytes, out_lines) registered against it each
 	// time a pass builds a fresh candidate table.
 	Rec *trace.Recorder
+
+	// Ckpts[id], when non-nil, persists node id's state after every pass so
+	// a supervisor can respawn the process and replay it (TCP fleet only).
+	Ckpts []*checkpoint.Store
+	// Resume is the restored checkpoint of this process's single local node
+	// (nil = no checkpoint survived; replay from pass 1).
+	Resume *checkpoint.State
+	// ResumeGen > 0 marks this process as a respawned miner rejoining a
+	// live cluster at the given recovery generation.
+	ResumeGen int
+	// Recovery arms peer-loss recovery: on a *PeerLostError the node waits
+	// for the rank to rejoin, bumps its generation, and replays the
+	// interrupted pass after a cluster-wide resync. Requires the endpoint
+	// to implement transport.Reviver.
+	Recovery *RecoveryOptions
+}
+
+// RecoveryOptions bounds the peer-loss recovery loop.
+type RecoveryOptions struct {
+	// RejoinWait is how long to wait for a lost rank's replacement
+	// (default 30s — covers supervisor respawn plus checkpoint replay).
+	RejoinWait time.Duration
+	// MaxRecoveries caps observed restarts per node (default 8).
+	MaxRecoveries int
+}
+
+func (r *RecoveryOptions) rejoinWait() time.Duration {
+	if r != nil && r.RejoinWait > 0 {
+		return r.RejoinWait
+	}
+	return 30 * time.Second
+}
+
+func (r *RecoveryOptions) maxRecoveries() int {
+	if r != nil && r.MaxRecoveries > 0 {
+		return r.MaxRecoveries
+	}
+	return 8
 }
 
 // LocalNodes returns the application node ids this process hosts.
@@ -334,6 +374,17 @@ func Start(env Env, params Params) (*Pending, error) {
 				return nil, fmt.Errorf("hpa: memory limit set but node %d has no pager", id)
 			}
 		}
+	}
+	if env.Resume != nil {
+		if len(local) != 1 || env.Resume.Node != local[0] {
+			return nil, fmt.Errorf("hpa: resume state is for node %d; this process hosts %v", env.Resume.Node, local)
+		}
+		if env.ResumeGen < 1 {
+			return nil, errors.New("hpa: resume state without a recovery generation")
+		}
+	}
+	if env.ResumeGen > 0 && len(local) != 1 {
+		return nil, errors.New("hpa: a respawned process must host exactly one node")
 	}
 	if params.BatchItems == 0 {
 		params.BatchItems = (env.Links[local[0]].BlockSize() - blockHeaderBytes) / probeItemWireBytes

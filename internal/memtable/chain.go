@@ -61,3 +61,19 @@ func (f *FallbackPager) Update(p transport.Proc, line int, loc Location, key str
 	}
 	return f.Secondary.Update(p, line, loc, key)
 }
+
+// Reset purges both tiers (whichever of them support purging). Recovery must
+// clear the disk tier too: spilled lines from the aborted pass would
+// otherwise shadow the replay's fresh store-outs.
+func (f *FallbackPager) Reset() error {
+	var first error
+	if r, ok := f.Primary.(Resetter); ok {
+		first = r.Reset()
+	}
+	if r, ok := f.Secondary.(Resetter); ok {
+		if err := r.Reset(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -93,6 +93,14 @@ type Pager interface {
 	Update(p transport.Proc, line int, loc Location, key string) error
 }
 
+// Resetter is implemented by pagers that can discard every stored line at
+// once. Recovery rolls an interrupted pass back and rebuilds its table from
+// scratch, so lines the aborted attempt left in remote or disk storage must
+// be purged rather than leak until the run ends.
+type Resetter interface {
+	Reset() error
+}
+
 // Stats are cumulative table counters.
 type Stats struct {
 	Inserts     uint64

@@ -2,11 +2,13 @@ package perf
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"repro"
 	"repro/internal/apriori"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/itemset"
@@ -324,6 +326,56 @@ func BenchTCPPagerSwapLoopback(b *testing.B) {
 	b.ReportMetric(float64(st.Failovers), "failovers")
 }
 
+// BenchCheckpointPass measures the per-pass durability tax the supervised
+// TCP fleet pays for crash recovery: one atomic checkpoint save (temp
+// write, fsync, rename over the previous pass) plus the load a replacement
+// process performs on respawn, at a pass-2-sized state.
+func BenchCheckpointPass(b *testing.B) {
+	dir, err := os.MkdirTemp("", "ckpt-bench-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := checkpoint.NewStore(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Sized like a bench-scale pass 2: a few thousand frequent pairs on top
+	// of the singleton survivors of pass 1.
+	large := make([]itemset.Itemset, 2000)
+	for i := range large {
+		large[i] = itemset.New(itemset.Item(i%120), itemset.Item(i/120+120))
+	}
+	prev := make([]itemset.Itemset, 300)
+	for i := range prev {
+		prev[i] = itemset.New(itemset.Item(i))
+	}
+	state := &checkpoint.State{
+		Node:         0,
+		Pass:         2,
+		Large:        large,
+		PrevLarge:    prev,
+		ParamsDigest: checkpoint.DigestParams(4, 0.02, 800_000),
+		PartDigest:   0xfeedface,
+		Counters:     checkpoint.Counters{Pass2Candidates: len(large)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Save(state); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Load(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if fi, err := os.Stat(st.Path()); err == nil {
+		b.ReportMetric(float64(fi.Size()), "ckpt-bytes")
+	}
+	b.ReportMetric(float64(len(large)+len(prev)), "itemsets")
+}
+
 // Benchmark is one registered benchmark: an exported body callable both
 // from the root bench_test.go wrappers and from cmd/bench.
 type Benchmark struct {
@@ -351,5 +403,6 @@ func Benchmarks() []Benchmark {
 		{"PublicAPIQuickstart", "public API", BenchPublicAPIQuickstart},
 		{"RMTPStoreFetchLoopback", "§4.2 pagefault cost", BenchRMTPStoreFetchLoopback},
 		{"TCPPagerSwapLoopback", "§4.2 pagefault cost", BenchTCPPagerSwapLoopback},
+		{"CheckpointPass", "fault tolerance", BenchCheckpointPass},
 	}
 }

@@ -369,6 +369,7 @@ func TestBenchmarkRegistry(t *testing.T) {
 		"Fig3Resolved16MemNodes", "Table4NoLimitBase", "Table4Fault13MB",
 		"Fig4DiskSwap", "Fig4SimpleSwap", "Fig4RemoteUpdate", "Fig5Migration",
 		"PublicAPIQuickstart", "RMTPStoreFetchLoopback", "TCPPagerSwapLoopback",
+		"CheckpointPass",
 	}
 	if len(benches) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(benches), len(want))

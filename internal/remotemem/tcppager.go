@@ -1,6 +1,7 @@
 package remotemem
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -20,6 +21,10 @@ type TCPPagerStats struct {
 	VerifiedFetches uint64 // remote fetches proven identical to the shadow
 	Mismatches      uint64 // verified fetches that differed — a transport bug
 	Migrated        uint64 // lines relocated between servers by MigrateAll
+	CapacityNacks   uint64 // store attempts refused by a capacity NACK
+	SoftSheds       uint64 // first-choice servers skipped on soft-watermark pressure
+	Resets          uint64 // fleet-wide owner resets issued
+	ResetLines      uint64 // remote lines purged by those resets
 }
 
 // tcpLine is the pager's private record of one remotely-stored line.
@@ -135,21 +140,43 @@ func fromWire(entries []rmtp.Entry) []memtable.Entry {
 }
 
 // StoreOut ships a line to the fleet, rotating the first-choice server and
-// failing over to the others on refusal.
+// failing over to the others on refusal. Servers that signalled soft-
+// watermark pressure on their last ack are tried after the un-pressured
+// ones — the shed that keeps a nearly-full server from hitting hard NACKs —
+// but are still eligible: pressure is advice, capacity is the law.
 func (tp *TCPPager) StoreOut(p transport.Proc, line int, entries []memtable.Entry) (memtable.Location, error) {
 	tp.mu.Lock()
 	first := tp.rr % len(tp.clients)
 	tp.rr++
 	tp.mu.Unlock()
 
-	wire := toWire(entries)
-	var lastErr error
+	order := make([]int, 0, len(tp.clients))
+	var pressured []int
 	for k := 0; k < len(tp.clients); k++ {
 		server := (first + k) % len(tp.clients)
+		if tp.clients[server].Pressured() {
+			pressured = append(pressured, server)
+			continue
+		}
+		order = append(order, server)
+	}
+	if n := len(pressured); n > 0 && len(order) > 0 {
+		tp.mu.Lock()
+		tp.stats.SoftSheds += uint64(n)
+		tp.mu.Unlock()
+	}
+	order = append(order, pressured...)
+
+	wire := toWire(entries)
+	var lastErr error
+	for _, server := range order {
 		if err := tp.clients[server].StoreAck(int32(line), wire); err != nil {
 			lastErr = err
 			tp.mu.Lock()
 			tp.stats.Failovers++
+			if errors.Is(err, rmtp.ErrCapacity) {
+				tp.stats.CapacityNacks++
+			}
 			tp.mu.Unlock()
 			tp.logf("remotemem: %s: store line %d refused by server %d: %v", tp.owner, line, server, err)
 			continue
@@ -301,6 +328,33 @@ func (tp *TCPPager) MigrateAll(from, dest int) ([]int, error) {
 	return out, nil
 }
 
+// Reset purges this owner's lines from every server in the fleet and forgets
+// the local line map. Best-effort per server: a store that is down or
+// refusing lost the lines anyway (and a respawned owner's first store-out
+// re-establishes its namespace); the first error is reported after every
+// server has been tried.
+func (tp *TCPPager) Reset() error {
+	tp.mu.Lock()
+	tp.lines = make(map[int]*tcpLine)
+	tp.stats.Resets++
+	tp.mu.Unlock()
+	var first error
+	for i, cl := range tp.clients {
+		purged, err := cl.Reset()
+		if err != nil {
+			tp.logf("remotemem: %s: reset on server %d: %v", tp.owner, i, err)
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		tp.mu.Lock()
+		tp.stats.ResetLines += uint64(purged)
+		tp.mu.Unlock()
+	}
+	return first
+}
+
 func tcpEntriesEqual(a, b []memtable.Entry) bool {
 	if len(a) != len(b) {
 		return false
@@ -313,4 +367,7 @@ func tcpEntriesEqual(a, b []memtable.Entry) bool {
 	return true
 }
 
-var _ memtable.Pager = (*TCPPager)(nil)
+var (
+	_ memtable.Pager    = (*TCPPager)(nil)
+	_ memtable.Resetter = (*TCPPager)(nil)
+)

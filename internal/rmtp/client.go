@@ -2,6 +2,7 @@ package rmtp
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -112,6 +113,11 @@ type Client struct {
 	// Circuit breaker state, guarded by mu.
 	consecFails int       // consecutive transport failures
 	openUntil   time.Time // while in the future, the breaker is open
+
+	// pressured latches the server's soft-watermark signal: true after a
+	// StoreAck reply flagged occupancy pressure, false once a reply reports
+	// the pressure cleared (or after Reset).
+	pressured bool
 }
 
 // Dial connects to the server at addr and announces the owner name.
@@ -435,7 +441,47 @@ func (c *Client) StoreAck(line int32, entries []Entry) error {
 		}
 		return fmt.Errorf("rmtp: store line %d: %s", line, payload)
 	}
+	// The OK reply may carry a soft-watermark pressure byte (old servers
+	// reply with an empty payload — treated as no pressure).
+	c.mu.Lock()
+	pressured := len(payload) >= 1 && payload[0] == 1
+	if pressured && !c.pressured {
+		c.m.PressureSignals++
+	}
+	c.pressured = pressured
+	c.mu.Unlock()
 	return nil
+}
+
+// Pressured reports the server's last soft-watermark signal: true when the
+// most recent acked store found the server past its pressure threshold.
+// Capacity-aware callers prefer un-pressured servers for new store-outs.
+func (c *Client) Pressured() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pressured
+}
+
+// Reset purges every line stored under this client's owner name and returns
+// how many the server dropped. A respawned miner calls it before replaying:
+// its predecessor's lines are garbage that would otherwise hold server
+// capacity for the rest of the run. Idempotent, retried.
+func (c *Client) Reset() (int, error) {
+	op, payload, err := c.callIdempotent(OpReset, 0, nil)
+	if err != nil {
+		return 0, err
+	}
+	if op == OpErr {
+		return 0, fmt.Errorf("rmtp: reset: %s", payload)
+	}
+	purged, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, errors.New("rmtp: bad reset reply")
+	}
+	c.mu.Lock()
+	c.pressured = false
+	c.mu.Unlock()
+	return int(purged), nil
 }
 
 // Fetch retrieves a stored line with lease-then-delete semantics: the server

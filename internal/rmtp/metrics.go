@@ -24,6 +24,7 @@ type Metrics struct {
 	BreakerFastFails uint64          // operations refused while the breaker was open
 	BudgetDenied     uint64          // retry sequences cut short by the retry budget
 	ReleaseFailures  uint64          // fetch acks that failed (lease left on the server)
+	PressureSignals  uint64          // soft-watermark onsets observed in store acks
 	BytesSent        uint64          // frames written, headers included
 	BytesRecv        uint64          // reply frames read, headers included
 	Latency          trace.Histogram // per-exchange round-trip latency
@@ -45,6 +46,7 @@ func (m Metrics) Snapshot(name string) trace.Snapshot {
 			{Name: "breaker_fast_fails", Value: float64(m.BreakerFastFails)},
 			{Name: "budget_denied", Value: float64(m.BudgetDenied)},
 			{Name: "release_failures", Value: float64(m.ReleaseFailures)},
+			{Name: "pressure_signals", Value: float64(m.PressureSignals)},
 			{Name: "bytes_sent", Value: float64(m.BytesSent)},
 			{Name: "bytes_recv", Value: float64(m.BytesRecv)},
 			{Name: "latency_mean_ns", Value: m.Latency.Mean()},
@@ -79,6 +81,9 @@ type ServerMetrics struct {
 	Nacks         uint64 // acked stores refused over capacity
 	OverloadDrops uint64 // one-way stores dropped over capacity
 	IdleDrops     uint64 // sessions closed by IdleTimeout
+	Resets        uint64 // owner resets served
+	ResetLines    uint64 // lines purged by owner resets
+	SoftSignals   uint64 // acked stores flagged over the soft watermark
 	BytesRecv     uint64
 	BytesSent     uint64
 	Latency       trace.Histogram
@@ -103,6 +108,9 @@ func (s *Server) Metrics() ServerMetrics {
 		Nacks:         s.nacks,
 		OverloadDrops: s.overloadDrops,
 		IdleDrops:     s.idleDrops,
+		Resets:        s.resets,
+		ResetLines:    s.resetLines,
+		SoftSignals:   s.softSignals,
 		BytesRecv:     s.bytesRecv,
 		BytesSent:     s.bytesSent,
 		Latency:       s.latency,
@@ -130,6 +138,9 @@ func (m ServerMetrics) Snapshot(name string) trace.Snapshot {
 			{Name: "nacks", Value: float64(m.Nacks)},
 			{Name: "overload_drops", Value: float64(m.OverloadDrops)},
 			{Name: "idle_drops", Value: float64(m.IdleDrops)},
+			{Name: "resets", Value: float64(m.Resets)},
+			{Name: "reset_lines", Value: float64(m.ResetLines)},
+			{Name: "soft_signals", Value: float64(m.SoftSignals)},
 			{Name: "bytes_recv", Value: float64(m.BytesRecv)},
 			{Name: "bytes_sent", Value: float64(m.BytesSent)},
 			{Name: "requests", Value: float64(m.Latency.Count)},

@@ -31,9 +31,15 @@ const (
 	// capacity NACK when the store would exceed the server's memory budget,
 	// so the client can divert to a fallback tier instead of silently losing
 	// the line.
-	OpStoreAck Op = 9  // payload: entries; reply OpOK or OpErr
-	OpOK       Op = 16 // reply payload depends on request
-	OpErr      Op = 17 // reply payload: error message
+	OpStoreAck Op = 9 // payload: entries; reply OpOK or OpErr
+	// OpReset purges every line (held, leased, or forwarded) of the calling
+	// owner. A respawned miner issues it before replaying a pass: the dead
+	// predecessor's swapped-out lines are garbage under the same owner name
+	// and would otherwise occupy server capacity until the run ends.
+	// Idempotent — resetting an owner with no lines is OpOK with count 0.
+	OpReset Op = 10 // payload: empty; reply OpOK purged-line count (uvarint)
+	OpOK    Op = 16 // reply payload depends on request
+	OpErr   Op = 17 // reply payload: error message
 )
 
 // Entry mirrors memtable.Entry on the wire.

@@ -2,6 +2,7 @@ package rmtp
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -38,6 +39,11 @@ type ServerOptions struct {
 	// session is closed — the declared length is rejected before any
 	// allocation. Zero means the protocol ceiling.
 	MaxFrameBytes int
+	// SoftWatermark is the occupancy fraction (0..1) past which acked stores
+	// are still accepted but flagged with a pressure byte in the OpOK reply,
+	// telling clients to start shedding load (rotate to other servers, spill
+	// to disk) before the hard capacity NACK hits. Zero disables the signal.
+	SoftWatermark float64
 }
 
 // Server is a remote-memory store reachable over TCP. Lines are namespaced
@@ -54,11 +60,12 @@ type Server struct {
 	used     int64
 	opts     ServerOptions
 
-	ln     net.Listener
-	logf   func(string, ...any)
-	wg     sync.WaitGroup
-	closed bool
-	conns  map[net.Conn]struct{} // live sessions, closed on shutdown
+	ln      net.Listener
+	logf    func(string, ...any)
+	wg      sync.WaitGroup
+	closed  bool
+	drainAt time.Time             // set by Drain: sessions must finish by then
+	conns   map[net.Conn]struct{} // live sessions, closed on shutdown
 
 	stores, fetches, updates, migrated uint64
 	releases                           uint64
@@ -67,6 +74,9 @@ type Server struct {
 	nacks                              uint64 // capacity NACKs (OpStoreAck)
 	overloadDrops                      uint64 // one-way stores dropped over capacity
 	idleDrops                          uint64 // sessions closed by IdleTimeout
+	resets                             uint64 // owner resets served
+	resetLines                         uint64 // lines purged by owner resets
+	softSignals                        uint64 // acked stores flagged over the soft watermark
 	bytesRecv, bytesSent               uint64
 	latency                            trace.Histogram // per-request service time
 }
@@ -147,13 +157,58 @@ func (s *Server) Close() error {
 	for conn := range s.conns {
 		conn.Close()
 	}
+	drained := !s.drainAt.IsZero() // Drain already closed the listener
 	s.mu.Unlock()
 	var err error
-	if s.ln != nil {
+	if s.ln != nil && !drained {
 		err = s.ln.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Drain performs a graceful shutdown: the listener closes immediately (no
+// new sessions), established sessions get until the grace deadline to finish
+// their in-flight frames, then everything is torn down as by Close. Safe to
+// call once; Close may follow (and a second signal typically does).
+func (s *Server) Drain(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed || !s.drainAt.IsZero() {
+		s.mu.Unlock()
+		return s.Close()
+	}
+	s.drainAt = time.Now().Add(grace)
+	deadline := s.drainAt
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Bound reads already parked in ReadFrame; serveConn re-applies the
+	// drain deadline on each subsequent frame.
+	for _, conn := range conns {
+		conn.SetReadDeadline(deadline)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline) + time.Second):
+	}
+	return s.Close()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.drainAt.IsZero()
 }
 
 // Stats returns operation counters.
@@ -185,9 +240,9 @@ func (s *Server) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			quiet := s.closed || !s.drainAt.IsZero()
 			s.mu.Unlock()
-			if !closed {
+			if !quiet {
 				s.logf("rmtp server: accept: %v", err)
 			}
 			return
@@ -227,8 +282,17 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	owner := ""
 	for {
+		var dl time.Time
 		if s.opts.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+			dl = time.Now().Add(s.opts.IdleTimeout)
+		}
+		s.mu.Lock()
+		if !s.drainAt.IsZero() && (dl.IsZero() || s.drainAt.Before(dl)) {
+			dl = s.drainAt
+		}
+		s.mu.Unlock()
+		if !dl.IsZero() {
+			conn.SetReadDeadline(dl)
 		}
 		op, line, payload, err := ReadFrameMax(conn, s.maxFrameBytes())
 		if err != nil {
@@ -243,9 +307,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
 				s.mu.Lock()
-				s.idleDrops++
+				draining := !s.drainAt.IsZero()
+				if !draining {
+					s.idleDrops++
+				}
 				s.mu.Unlock()
-				s.logf("rmtp server: %s: idle past %s, closing", conn.RemoteAddr(), s.opts.IdleTimeout)
+				if draining {
+					s.logf("rmtp server: %s: drain deadline reached, closing", conn.RemoteAddr())
+				} else {
+					s.logf("rmtp server: %s: idle past %s, closing", conn.RemoteAddr(), s.opts.IdleTimeout)
+				}
 			}
 			return // EOF or broken peer ends the session
 		}
@@ -344,8 +415,16 @@ func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload 
 				"%s need %d bytes, %d free", nackCapacityPrefix, need, free)))
 		}
 		s.storeLocked(key, entries, need)
+		// Soft watermark: accept, but flag the reply when occupancy crossed
+		// the pressure threshold so the client sheds load before hard NACKs.
+		pressure := []byte{0}
+		if s.capacity > 0 && s.opts.SoftWatermark > 0 &&
+			float64(s.used) > s.opts.SoftWatermark*float64(s.capacity) {
+			pressure[0] = 1
+			s.softSignals++
+		}
 		s.mu.Unlock()
-		return s.reply(conn, OpOK, line, nil)
+		return s.reply(conn, OpOK, line, pressure)
 
 	case OpFetch:
 		// Legacy destructive read: serve and release in one step.
@@ -431,6 +510,31 @@ func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload 
 			return s.reply(conn, OpErr, line, []byte(err.Error()))
 		}
 		return s.reply(conn, OpOK, line, EncodeLines(moved))
+
+	case OpReset:
+		// Purge every line of this owner across the three maps. Owner-scoped:
+		// other miners' lines are untouched, so one node's recovery does not
+		// disturb the rest of the fleet.
+		s.mu.Lock()
+		var purged uint64
+		for k, entries := range s.lines {
+			if k.owner != owner {
+				continue
+			}
+			delete(s.lines, k)
+			delete(s.leased, k)
+			s.used -= int64(len(entries)) * entryMemBytes
+			purged++
+		}
+		for k := range s.forward {
+			if k.owner == owner {
+				delete(s.forward, k)
+			}
+		}
+		s.resets++
+		s.resetLines += purged
+		s.mu.Unlock()
+		return s.reply(conn, OpOK, line, binary.AppendUvarint(nil, purged))
 
 	case OpStat:
 		return s.reply(conn, OpOK, line, EncodeStat(s.Occupancy()))

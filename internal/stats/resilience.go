@@ -12,6 +12,8 @@ type Resilience struct {
 	LinesLost      uint64 // remote lines recovered from local shadow copies
 	FallbackStores uint64 // store-outs diverted to the fallback pager tier
 	DroppedMsgs    uint64 // messages discarded by the network fault layer
+	Restarts       uint64 // peer restarts this node observed and resynced past
+	StaleMsgs      uint64 // stale-generation messages dropped during replay
 }
 
 // Add accumulates o into r.
@@ -22,12 +24,15 @@ func (r *Resilience) Add(o Resilience) {
 	r.LinesLost += o.LinesLost
 	r.FallbackStores += o.FallbackStores
 	r.DroppedMsgs += o.DroppedMsgs
+	r.Restarts += o.Restarts
+	r.StaleMsgs += o.StaleMsgs
 }
 
 // Any reports whether any counter is nonzero.
 func (r Resilience) Any() bool {
 	return r.Retries != 0 || r.DeadlineHits != 0 || r.Failovers != 0 ||
-		r.LinesLost != 0 || r.FallbackStores != 0 || r.DroppedMsgs != 0
+		r.LinesLost != 0 || r.FallbackStores != 0 || r.DroppedMsgs != 0 ||
+		r.Restarts != 0 || r.StaleMsgs != 0
 }
 
 // String renders the counters compactly for run reports.
@@ -35,6 +40,7 @@ func (r Resilience) String() string {
 	if !r.Any() {
 		return "no faults"
 	}
-	return fmt.Sprintf("retries=%d deadline=%d failovers=%d lost=%d fallback=%d dropped=%d",
-		r.Retries, r.DeadlineHits, r.Failovers, r.LinesLost, r.FallbackStores, r.DroppedMsgs)
+	return fmt.Sprintf("retries=%d deadline=%d failovers=%d lost=%d fallback=%d dropped=%d restarts=%d stale=%d",
+		r.Retries, r.DeadlineHits, r.Failovers, r.LinesLost, r.FallbackStores, r.DroppedMsgs,
+		r.Restarts, r.StaleMsgs)
 }

@@ -6,30 +6,72 @@ import (
 )
 
 // Coordinator control messages. Registered with gob so the TCP backend can
-// carry them; the simulated backend passes them by reference.
+// carry them; the simulated backend passes them by reference. Every message
+// carries the recovery generation it was sent under: after a peer loss the
+// cluster bumps its generation and replays the interrupted pass, and
+// stragglers from the aborted attempt are dropped by the generation filter
+// instead of corrupting the replay.
 
 type barrierArrive struct {
 	Epoch int
+	Gen   int
 	From  int
 }
 
 type barrierRelease struct {
 	Epoch int
+	Gen   int
 }
 
 type gatherMsg struct {
 	Epoch   int
+	Gen     int
 	From    int
 	Payload any
+}
+
+// resyncMsg is a node's vote for where the replay starts: its first
+// unfinished pass (a survivor votes the pass it was interrupted in, a node
+// restored from checkpoint votes checkpointed-pass+1).
+type resyncMsg struct {
+	Gen    int
+	From   int
+	Resume int
+}
+
+// resyncGo is node 0's resync decision: the pass the whole cluster replays
+// from under the new generation.
+type resyncGo struct {
+	Gen  int
+	Pass int
 }
 
 func init() {
 	gob.Register(barrierArrive{})
 	gob.Register(barrierRelease{})
 	gob.Register(gatherMsg{})
+	gob.Register(resyncMsg{})
+	gob.Register(resyncGo{})
 }
 
 const ctrlMsgBytes = 32
+
+// ctrlGen extracts the generation stamp of a control payload.
+func ctrlGen(pl any) (int, bool) {
+	switch v := pl.(type) {
+	case barrierArrive:
+		return v.Gen, true
+	case barrierRelease:
+		return v.Gen, true
+	case gatherMsg:
+		return v.Gen, true
+	case resyncMsg:
+		return v.Gen, true
+	case resyncGo:
+		return v.Gen, true
+	}
+	return 0, false
+}
 
 // Coordinator mediates barriers and gathers among the application nodes.
 // Node 0 acts as the central coordinator, as a designated process would on
@@ -41,6 +83,8 @@ type Coordinator struct {
 	ep      Endpoint
 	n       int // application node count
 	port    int
+	gen     int   // current recovery generation (0 = fault-free)
+	stale   int   // control payloads dropped by the generation filter
 	pending []any // control payloads received but not yet consumed
 }
 
@@ -50,11 +94,45 @@ func NewCoordinator(ep Endpoint, n, port int) *Coordinator {
 	return &Coordinator{ep: ep, n: n, port: port}
 }
 
+// Gen returns the current recovery generation.
+func (c *Coordinator) Gen() int { return c.gen }
+
+// StaleDropped returns how many control payloads the generation filter has
+// discarded (traffic from aborted pass attempts).
+func (c *Coordinator) StaleDropped() int { return c.stale }
+
+// SetGen advances the recovery generation. Buffered payloads from older
+// generations are dropped; payloads from this or a future generation (a
+// peer that recovered first and ran ahead) stay buffered.
+func (c *Coordinator) SetGen(g int) {
+	c.gen = g
+	kept := c.pending[:0]
+	for _, pl := range c.pending {
+		if mg, ok := ctrlGen(pl); ok && mg < g {
+			c.stale++
+			continue
+		}
+		kept = append(kept, pl)
+	}
+	for i := len(kept); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
+	c.pending = kept
+}
+
 // recvMatching returns the first buffered or newly received control payload
-// for which match returns true, buffering everything else.
+// for which match returns true, buffering everything else. Payloads from an
+// older generation are dropped; match is only offered current-generation
+// payloads (future generations wait buffered for SetGen to catch up).
 func (c *Coordinator) recvMatching(p Proc, match func(any) bool) (any, error) {
+	offer := func(pl any) bool {
+		if mg, ok := ctrlGen(pl); ok && mg != c.gen {
+			return false
+		}
+		return match(pl)
+	}
 	for i, pl := range c.pending {
-		if match(pl) {
+		if offer(pl) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			return pl, nil
 		}
@@ -64,7 +142,11 @@ func (c *Coordinator) recvMatching(p Proc, match func(any) bool) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if match(m.Payload) {
+		if mg, ok := ctrlGen(m.Payload); ok && mg < c.gen {
+			c.stale++
+			continue
+		}
+		if offer(m.Payload) {
 			return m.Payload, nil
 		}
 		c.pending = append(c.pending, m.Payload)
@@ -88,13 +170,13 @@ func (c *Coordinator) Barrier(p Proc, epoch int) error {
 			}
 		}
 		for to := 1; to < n; to++ {
-			if err := c.ep.Send(p, to, c.port, barrierRelease{Epoch: epoch}, ctrlMsgBytes); err != nil {
+			if err := c.ep.Send(p, to, c.port, barrierRelease{Epoch: epoch, Gen: c.gen}, ctrlMsgBytes); err != nil {
 				return fmt.Errorf("transport: barrier %d release to %d: %w", epoch, to, err)
 			}
 		}
 		return nil
 	}
-	if err := c.ep.Send(p, 0, c.port, barrierArrive{Epoch: epoch, From: self}, ctrlMsgBytes); err != nil {
+	if err := c.ep.Send(p, 0, c.port, barrierArrive{Epoch: epoch, Gen: c.gen, From: self}, ctrlMsgBytes); err != nil {
 		return fmt.Errorf("transport: barrier %d arrive: %w", epoch, err)
 	}
 	if _, err := c.recvMatching(p, func(pl any) bool {
@@ -122,7 +204,7 @@ func (c *Coordinator) GatherAll(p Proc, epoch int, payload any, size int) ([]any
 		if to == self {
 			continue
 		}
-		if err := c.ep.Send(p, to, c.port, gatherMsg{Epoch: epoch, From: self, Payload: payload}, size); err != nil {
+		if err := c.ep.Send(p, to, c.port, gatherMsg{Epoch: epoch, Gen: c.gen, From: self, Payload: payload}, size); err != nil {
 			return nil, fmt.Errorf("transport: gather %d send to %d: %w", epoch, to, err)
 		}
 	}
@@ -141,4 +223,56 @@ func (c *Coordinator) GatherAll(p Proc, epoch int, payload any, size int) ([]any
 		got[g.From] = true
 	}
 	return out, nil
+}
+
+// Resync is the post-recovery rendezvous. Every node calls it after bumping
+// to the same generation with SetGen, voting its own first unfinished pass.
+// Node 0 collects the votes, picks the minimum (nobody's unfinished work may
+// be skipped — node 0's bookkeeping of a pass is only durable once every
+// node got past its final barrier), and broadcasts the pass the cluster
+// replays from. It returns that pass.
+func (c *Coordinator) Resync(p Proc, resume int) (int, error) {
+	n := c.n
+	self := c.ep.Self()
+	if n == 1 {
+		if resume < 1 {
+			resume = 1
+		}
+		return resume, nil
+	}
+	if self == 0 {
+		best := resume
+		for seen := 0; seen < n-1; seen++ {
+			pl, err := c.recvMatching(p, func(pl any) bool {
+				_, ok := pl.(resyncMsg)
+				return ok
+			})
+			if err != nil {
+				return 0, fmt.Errorf("transport: resync gen %d collect: %w", c.gen, err)
+			}
+			if v := pl.(resyncMsg).Resume; v < best {
+				best = v
+			}
+		}
+		if best < 1 {
+			best = 1
+		}
+		for to := 1; to < n; to++ {
+			if err := c.ep.Send(p, to, c.port, resyncGo{Gen: c.gen, Pass: best}, ctrlMsgBytes); err != nil {
+				return 0, fmt.Errorf("transport: resync gen %d go to %d: %w", c.gen, to, err)
+			}
+		}
+		return best, nil
+	}
+	if err := c.ep.Send(p, 0, c.port, resyncMsg{Gen: c.gen, From: self, Resume: resume}, ctrlMsgBytes); err != nil {
+		return 0, fmt.Errorf("transport: resync gen %d vote: %w", c.gen, err)
+	}
+	pl, err := c.recvMatching(p, func(pl any) bool {
+		_, ok := pl.(resyncGo)
+		return ok
+	})
+	if err != nil {
+		return 0, fmt.Errorf("transport: resync gen %d wait: %w", c.gen, err)
+	}
+	return pl.(resyncGo).Pass, nil
 }

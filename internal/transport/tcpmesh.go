@@ -23,8 +23,9 @@ const meshJoinTimeout = 30 * time.Second
 // carry meshFrames for the rest of their life.
 
 const (
-	helloReg  = 0 // node registering its listener address with node 0
-	helloData = 1 // peer's outbound data edge
+	helloReg    = 0 // node registering its listener address with node 0
+	helloData   = 1 // peer's outbound data edge
+	helloRejoin = 2 // revived rank re-registering a fresh listener address
 )
 
 type meshHello struct {
@@ -37,11 +38,25 @@ type meshTable struct {
 	Addrs []string
 }
 
+// Frame kinds carried on data edges. Data frames feed the port inboxes;
+// heartbeat and rejoin frames belong to the liveness layer and never touch
+// the modeled traffic counters.
+const (
+	frameData      = 0
+	frameHeartbeat = 1
+	frameRejoin    = 2 // Payload is a meshHello naming the revived rank
+)
+
 type meshFrame struct {
+	Kind    int
 	From    int
 	Port    int
 	Size    int
 	Payload any
+}
+
+func init() {
+	gob.Register(meshHello{})
 }
 
 // meshInbox is an unbounded per-port delivery queue.
@@ -105,8 +120,7 @@ type TCPMesh struct {
 	start     time.Time
 
 	ln     net.Listener
-	peers  []*meshConn // outbound edges, indexed by peer id (self nil)
-	inbox  sync.Map    // port int -> *meshInbox
+	inbox  sync.Map // port int -> *meshInbox
 	closed chan struct{}
 	once   sync.Once
 
@@ -117,6 +131,20 @@ type TCPMesh struct {
 	regAddrs []string
 	regConns []net.Conn
 	regDone  chan struct{}
+
+	// liveness state (see liveness.go); peers is guarded by lmu because
+	// rejoins swap edges while Send is in flight. With liveness off the
+	// slice is immutable after bootstrap and the lock is uncontended.
+	opts      MeshOptions
+	live      bool
+	lmu       sync.Mutex
+	peers     []*meshConn // outbound edges, indexed by peer id (self nil)
+	deadErr   []error     // non-nil => rank is dead-marked
+	deadSeq   []uint64    // rejoinSeq value captured at dead-mark time
+	rejoinSeq []uint64    // processed rejoins per rank
+	inGen     []uint64    // inbound connection generation per rank
+	liveCh    chan struct{}
+	lastHeard []atomic.Int64
 }
 
 // ListenMesh binds node 0's rendezvous listener for an n-node mesh and
@@ -124,13 +152,16 @@ type TCPMesh struct {
 // immediately (so child processes can be pointed at it); Join completes the
 // bootstrap.
 func ListenMesh(n int, listen string, blockSize int) (*TCPMesh, error) {
+	return ListenMeshOpts(n, listen, MeshOptions{BlockSize: blockSize})
+}
+
+// ListenMeshOpts is ListenMesh with full mesh options (liveness layer).
+func ListenMeshOpts(n int, listen string, o MeshOptions) (*TCPMesh, error) {
 	if n < 1 {
 		return nil, errors.New("transport: mesh needs at least one node")
 	}
-	if blockSize <= 0 {
-		blockSize = 4096
-	}
-	m := newMesh(0, n, blockSize)
+	m := newMesh(0, n, o.BlockSize)
+	m.initLiveness(o)
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return nil, err
@@ -168,20 +199,27 @@ func (m *TCPMesh) Join() error {
 		}
 		c.Close()
 	}
-	return m.dialPeers(table.Addrs)
+	if err := m.dialPeers(table.Addrs); err != nil {
+		return err
+	}
+	m.startLiveness()
+	return nil
 }
 
 // JoinMesh bootstraps node self (> 0) of an n-node mesh: bind a listener,
 // register it with the rendezvous at coordAddr, receive the address table,
 // and dial every peer's data edge.
 func JoinMesh(self, n int, coordAddr string, blockSize int) (*TCPMesh, error) {
+	return JoinMeshOpts(self, n, coordAddr, MeshOptions{BlockSize: blockSize})
+}
+
+// JoinMeshOpts is JoinMesh with full mesh options (liveness layer).
+func JoinMeshOpts(self, n int, coordAddr string, o MeshOptions) (*TCPMesh, error) {
 	if self < 1 || self >= n {
 		return nil, fmt.Errorf("transport: mesh node %d of %d must join via ListenMesh or be in [1,%d)", self, n, n)
 	}
-	if blockSize <= 0 {
-		blockSize = 4096
-	}
-	m := newMesh(self, n, blockSize)
+	m := newMesh(self, n, o.BlockSize)
+	m.initLiveness(o)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -224,16 +262,26 @@ func JoinMesh(self, n int, coordAddr string, blockSize int) (*TCPMesh, error) {
 		m.Close()
 		return nil, err
 	}
+	m.startLiveness()
 	return m, nil
 }
 
 // LoopbackMeshes bootstraps a complete in-process n-node mesh on loopback
 // and returns one endpoint per node (tests and the fidelity experiment).
 func LoopbackMeshes(n, blockSize int) ([]*TCPMesh, error) {
-	m0, err := ListenMesh(n, "127.0.0.1:0", blockSize)
+	return LoopbackMeshesOpts(n, MeshOptions{BlockSize: blockSize})
+}
+
+// LoopbackMeshesOpts is LoopbackMeshes with full mesh options. The options
+// are shared by every node except OnPeerLost, which only node 0 receives
+// (it is the supervisor's hook).
+func LoopbackMeshesOpts(n int, o MeshOptions) ([]*TCPMesh, error) {
+	m0, err := ListenMeshOpts(n, "127.0.0.1:0", o)
 	if err != nil {
 		return nil, err
 	}
+	peerOpts := o
+	peerOpts.OnPeerLost = nil
 	meshes := make([]*TCPMesh, n)
 	errs := make([]error, n)
 	meshes[0] = m0
@@ -242,7 +290,7 @@ func LoopbackMeshes(n, blockSize int) ([]*TCPMesh, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			meshes[i], errs[i] = JoinMesh(i, n, m0.Addr(), blockSize)
+			meshes[i], errs[i] = JoinMeshOpts(i, n, m0.Addr(), peerOpts)
 		}(i)
 	}
 	errs[0] = m0.Join()
@@ -261,6 +309,9 @@ func LoopbackMeshes(n, blockSize int) ([]*TCPMesh, error) {
 }
 
 func newMesh(self, n, blockSize int) *TCPMesh {
+	if blockSize <= 0 {
+		blockSize = 4096
+	}
 	return &TCPMesh{
 		self:      self,
 		n:         n,
@@ -280,17 +331,27 @@ func (m *TCPMesh) dialPeers(addrs []string) error {
 		if j == m.self {
 			continue
 		}
-		conn, err := net.DialTimeout("tcp", addr, meshJoinTimeout)
-		if err != nil {
-			return fmt.Errorf("transport: mesh dial peer %d at %s: %w", j, addr, err)
+		if err := m.dialPeer(j, addr); err != nil {
+			return err
 		}
-		enc := gob.NewEncoder(conn)
-		if err := enc.Encode(meshHello{Kind: helloData, From: m.self}); err != nil {
-			conn.Close()
-			return fmt.Errorf("transport: mesh hello to peer %d: %w", j, err)
-		}
-		m.peers[j] = &meshConn{conn: conn, enc: enc}
 	}
+	return nil
+}
+
+// dialPeer opens the outbound edge to one peer.
+func (m *TCPMesh) dialPeer(j int, addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, meshJoinTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: mesh dial peer %d at %s: %w", j, addr, err)
+	}
+	enc := gob.NewEncoder(conn)
+	if err := enc.Encode(meshHello{Kind: helloData, From: m.self}); err != nil {
+		conn.Close()
+		return fmt.Errorf("transport: mesh hello to peer %d: %w", j, err)
+	}
+	m.lmu.Lock()
+	m.peers[j] = &meshConn{conn: conn, enc: enc}
+	m.lmu.Unlock()
 	return nil
 }
 
@@ -333,23 +394,66 @@ func (m *TCPMesh) serveConn(conn net.Conn) {
 		// The connection is parked until Join sends the table on it.
 	case helloData:
 		m.readLoop(hello.From, conn, dec)
+	case helloRejoin:
+		m.serveRejoin(hello, conn)
 	default:
 		conn.Close()
 	}
 }
 
+// serveRejoin is node 0's rendezvous role for a revived rank: install the
+// new address, dial a fresh edge, reply with the current address table, and
+// fan a rejoin notice out to the surviving peers so they re-dial too.
+func (m *TCPMesh) serveRejoin(hello meshHello, conn net.Conn) {
+	defer conn.Close()
+	if m.self != 0 || !m.live || hello.From < 1 || hello.From >= m.n {
+		return
+	}
+	m.regMu.Lock()
+	m.regAddrs[hello.From] = hello.Addr
+	table := meshTable{Addrs: append([]string(nil), m.regAddrs...)}
+	m.regMu.Unlock()
+	if err := m.processRejoin(hello.From, hello.Addr); err != nil {
+		return
+	}
+	if err := gob.NewEncoder(conn).Encode(table); err != nil {
+		return
+	}
+	notice := meshFrame{Kind: frameRejoin, From: m.self, Payload: meshHello{From: hello.From, Addr: hello.Addr}}
+	for j := 1; j < m.n; j++ {
+		if j == hello.From {
+			continue
+		}
+		m.sendFrame(j, notice)
+	}
+}
+
 // readLoop decodes data frames from one peer into the port inboxes.
 func (m *TCPMesh) readLoop(from int, conn net.Conn, dec *gob.Decoder) {
-	defer conn.Close()
+	gen := m.noteInbound(from)
+	defer func() {
+		conn.Close()
+		m.inboundGone(from, gen)
+	}()
 	for {
 		var f meshFrame
 		if err := dec.Decode(&f); err != nil {
 			return
 		}
-		m.inboxFor(f.Port).push(Message{
-			From: from, To: m.self, Port: f.Port,
-			Payload: f.Payload, Size: f.Size, SentAt: m.Now(),
-		})
+		m.touch(from)
+		switch f.Kind {
+		case frameData:
+			m.inboxFor(f.Port).push(Message{
+				From: from, To: m.self, Port: f.Port,
+				Payload: f.Payload, Size: f.Size, SentAt: m.Now(),
+			})
+		case frameHeartbeat:
+			// Life signal only; m.touch above already recorded it.
+		case frameRejoin:
+			if h, ok := f.Payload.(meshHello); ok {
+				go m.processRejoin(h.From, h.Addr)
+			}
+		}
 	}
 }
 
@@ -393,14 +497,13 @@ func (m *TCPMesh) Send(p Proc, to, port int, payload any, size int) error {
 		})
 		return nil
 	}
-	pc := m.peers[to]
-	if pc == nil {
-		return fmt.Errorf("transport: mesh has no edge to node %d (join incomplete)", to)
+	if err := m.deadTarget(to); err != nil {
+		return err
 	}
-	pc.mu.Lock()
-	err := pc.enc.Encode(meshFrame{From: m.self, Port: port, Size: size, Payload: payload})
-	pc.mu.Unlock()
-	if err != nil {
+	if err := m.sendFrame(to, meshFrame{Kind: frameData, From: m.self, Port: port, Size: size, Payload: payload}); err != nil {
+		if dead := m.deadTarget(to); dead != nil {
+			return dead
+		}
 		return fmt.Errorf("transport: mesh send to node %d: %w", to, err)
 	}
 	m.txMsgs.Add(1)
@@ -408,15 +511,38 @@ func (m *TCPMesh) Send(p Proc, to, port int, payload any, size int) error {
 	return nil
 }
 
-// Recv blocks until a message arrives on the port.
+// sendFrame transmits a raw frame on the outbound edge without touching the
+// modeled traffic counters (liveness traffic uses it directly).
+func (m *TCPMesh) sendFrame(to int, f meshFrame) error {
+	m.lmu.Lock()
+	pc := m.peers[to]
+	m.lmu.Unlock()
+	if pc == nil {
+		return fmt.Errorf("transport: mesh has no edge to node %d (join incomplete)", to)
+	}
+	pc.mu.Lock()
+	err := pc.enc.Encode(f)
+	pc.mu.Unlock()
+	return err
+}
+
+// Recv blocks until a message arrives on the port. With liveness armed, a
+// dead-marked peer fails the wait with *PeerLostError once the queue is
+// drained — a collective waiting on the dead rank surfaces the loss instead
+// of hanging.
 func (m *TCPMesh) Recv(p Proc, port int) (Message, error) {
 	b := m.inboxFor(port)
 	for {
 		if msg, ok := b.pop(); ok {
 			return msg, nil
 		}
+		liveCh, dead := m.liveState()
+		if dead != nil {
+			return Message{}, dead
+		}
 		select {
 		case <-b.notify:
+		case <-liveCh:
 		case <-m.closed:
 			// Drain anything that raced with Close before reporting it.
 			if msg, ok := b.pop(); ok {
@@ -440,8 +566,13 @@ func (m *TCPMesh) RecvTimeout(p Proc, port int, d sim.Duration) (Message, bool, 
 		if msg, ok := b.pop(); ok {
 			return msg, true, nil
 		}
+		liveCh, dead := m.liveState()
+		if dead != nil {
+			return Message{}, false, dead
+		}
 		select {
 		case <-b.notify:
+		case <-liveCh:
 		case <-timer.C:
 			return Message{}, false, nil
 		case <-m.closed:
@@ -469,7 +600,10 @@ func (m *TCPMesh) Close() error {
 		if m.ln != nil {
 			m.ln.Close()
 		}
-		for _, pc := range m.peers {
+		m.lmu.Lock()
+		peers := append([]*meshConn(nil), m.peers...)
+		m.lmu.Unlock()
+		for _, pc := range peers {
 			if pc != nil {
 				pc.mu.Lock()
 				pc.conn.Close()
