@@ -40,11 +40,28 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		if flag.NArg() != 2 {
+		// The flag package stops at the first positional argument, so
+		// `bench -compare old.json new.json -threshold 1.15` would leave
+		// the trailing flags unparsed. Re-parse interleaved flags until
+		// only the two report paths remain.
+		var paths []string
+		rest := flag.Args()
+		for len(rest) > 0 {
+			if strings.HasPrefix(rest[0], "-") {
+				if err := flag.CommandLine.Parse(rest); err != nil {
+					os.Exit(2)
+				}
+				rest = flag.Args()
+				continue
+			}
+			paths = append(paths, rest[0])
+			rest = rest[1:]
+		}
+		if len(paths) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: bench -compare old.json new.json")
 			os.Exit(2)
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *warn); err != nil {
+		if err := runCompare(paths[0], paths[1], *run, *threshold, *warn); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
@@ -109,8 +126,10 @@ func main() {
 }
 
 // runCompare loads two reports, prints the delta table, and fails on
-// regressions unless warn-only.
-func runCompare(oldPath, newPath string, threshold float64, warn bool) error {
+// regressions unless warn-only. A -run substring narrows the comparison to
+// matching benchmarks, so CI can hold one kernel to a tighter threshold
+// than the rest of the suite.
+func runCompare(oldPath, newPath, run string, threshold float64, warn bool) error {
 	oldRep, err := perf.ReadFile(oldPath)
 	if err != nil {
 		return err
@@ -118,6 +137,13 @@ func runCompare(oldPath, newPath string, threshold float64, warn bool) error {
 	newRep, err := perf.ReadFile(newPath)
 	if err != nil {
 		return err
+	}
+	if run != "" {
+		oldRep = filterReport(oldRep, run)
+		newRep = filterReport(newRep, run)
+		if len(oldRep.Benchmarks) == 0 || len(newRep.Benchmarks) == 0 {
+			return fmt.Errorf("no benchmark matches -run %q in both reports", run)
+		}
 	}
 	c := perf.Compare(oldRep, newRep, threshold)
 	fmt.Println(c.Table())
@@ -135,6 +161,19 @@ func runCompare(oldPath, newPath string, threshold float64, warn bool) error {
 	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+// filterReport returns a shallow copy of r keeping only benchmarks whose
+// name contains run.
+func filterReport(r *perf.Report, run string) *perf.Report {
+	cp := *r
+	cp.Benchmarks = nil
+	for _, b := range r.Benchmarks {
+		if strings.Contains(b.Name, run) {
+			cp.Benchmarks = append(cp.Benchmarks, b)
+		}
+	}
+	return &cp
 }
 
 // summaryTable renders the human-readable run summary: wall-clock and

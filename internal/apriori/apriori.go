@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/candtab"
 	"repro/internal/htree"
 	"repro/internal/itemset"
 )
@@ -13,15 +14,22 @@ import (
 type Counting int
 
 const (
-	// HashTree counts with the Agrawal & Srikant hash tree (default).
-	HashTree Counting = iota
-	// HashTable counts by enumerating k-subsets of each transaction and
-	// probing a hash table — the same per-candidate structure HPA uses.
+	// FlatTable counts by enumerating k-subsets of each transaction and
+	// probing a flat open-addressing candidate table (internal/candtab) —
+	// cache-friendly SoA layout, zero allocations per probe. The default.
+	FlatTable Counting = iota
+	// HashTree counts with the Agrawal & Srikant hash tree. Kept as the
+	// reference implementation the flat kernel is property-tested against.
+	HashTree
+	// HashTable counts by enumerating k-subsets and probing a Go map — the
+	// naive per-candidate structure, kept for cross-checking.
 	HashTable
 )
 
 func (c Counting) String() string {
 	switch c {
+	case FlatTable:
+		return "flat-table"
 	case HashTree:
 		return "hash-tree"
 	case HashTable:
@@ -136,8 +144,10 @@ func Mine(txns []itemset.Itemset, cfg Config) (*Result, error) {
 		switch cfg.Counting {
 		case HashTable:
 			large, counts = countHashTable(txns, cands, k, minCount)
-		default:
+		case HashTree:
 			large, counts = countHashTree(txns, cands, k, minCount)
+		default:
+			large, counts = countFlat(txns, cands, k, minCount)
 		}
 		res.Passes = append(res.Passes, PassStats{K: k, Candidates: len(cands), Large: len(large)})
 		res.Large = append(res.Large, large)
@@ -165,6 +175,14 @@ func countHashTree(txns, cands []itemset.Itemset, k, minCount int) ([]itemset.It
 		tree.CountTransaction(t)
 	}
 	return tree.Frequent(minCount)
+}
+
+func countFlat(txns, cands []itemset.Itemset, k, minCount int) ([]itemset.Itemset, map[string]int) {
+	tab := candtab.New(k, cands)
+	for _, t := range txns {
+		tab.CountTransaction(t)
+	}
+	return tab.Frequent(minCount)
 }
 
 func countHashTable(txns, cands []itemset.Itemset, k, minCount int) ([]itemset.Itemset, map[string]int) {

@@ -95,6 +95,25 @@ func TestHashTreeAndHashTableAgree(t *testing.T) {
 	if ok, why := SameLarge(a, b); !ok {
 		t.Fatalf("hash tree vs hash table disagree: %s", why)
 	}
+	c, err := Mine(txns, Config{MinSupport: 0.02, Counting: FlatTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := SameLarge(a, c); !ok {
+		t.Fatalf("hash tree vs flat table disagree: %s", why)
+	}
+}
+
+// TestFlatTableDefault pins the zero-value backend: the flat kernel is the
+// default a zero Config gets.
+func TestFlatTableDefault(t *testing.T) {
+	var cfg Config
+	if cfg.Counting != FlatTable {
+		t.Fatalf("zero-value Counting = %v, want FlatTable", cfg.Counting)
+	}
+	if FlatTable.String() != "flat-table" {
+		t.Fatalf("FlatTable.String() = %q", FlatTable.String())
+	}
 }
 
 func TestMineAgainstBruteForce(t *testing.T) {

@@ -7,9 +7,17 @@
 // local transaction file and a receiver owning the hash table — exactly as
 // the pilot-system implementation did (§3.3).
 //
-// The receiver's hash table is a memtable.Table, so pass 2 runs under a
-// memory-usage limit with whichever pager (remote memory or disk) the
-// environment supplies.
+// The receiver's hash table is a memtable.Table, so pass 2 — the pass that
+// dominates end-to-end time — runs under a memory-usage limit with
+// whichever pager (remote memory or disk) the environment supplies.
+// Resident lines are flat candtab.Line tables (open addressing over a key
+// arena, no per-entry allocations; DESIGN.md §10), so the receiver's probe
+// loop is cache-friendly even at paper-scale C2 while the pager boundary
+// still sees the plain []memtable.Entry representation, byte-identical to
+// the legacy layout. Under the remote-update policy, increments to
+// pinned-remote lines leave the node as one-way update messages,
+// coalescible into per-destination batch frames (core.Config.UpdateBatch
+// on the simulator, core.TCPConfig.UpdateBatch over real TCP).
 //
 // Key types:
 //
@@ -26,6 +34,9 @@
 //     to an apriori.Result for cross-checking against sequential mining.
 //   - Pending: completion tracking; OnAllDone fires when every node has
 //     finished, letting the harness stop monitors and tracers.
+//   - RecoveryOptions: peer-loss recovery on the TCP mesh — survivors
+//     wait for the lost rank's respawned replacement and replay the
+//     interrupted pass.
 //
 // With tracing enabled each node emits one span event per pass (named
 // "pass-k"), and registers resident_bytes / out_lines gauge probes on its

@@ -14,7 +14,17 @@
 //   - Tree.Frequent(minCount): the candidates that met the threshold,
 //     with their counts.
 //
-// The paper's parallel algorithm replaces this structure with the hash
-// lines of internal/memtable (a flat table partitioned across nodes); the
-// hash tree remains as the reference backend in internal/apriori.
+// Status: reference baseline. The hash tree is no longer the default
+// counting backend — its recursive descent chases a pointer per node and
+// scatters candidate entries across the heap, which is exactly the cache
+// behavior the flat kernel in internal/candtab was built to avoid (open
+// addressing over parallel slices, keys packed into one arena; DESIGN.md
+// §10). apriori.HashTree still selects it, the property test in
+// internal/candtab holds the two backends to identical counts over
+// randomized workloads, and the Pass2CountHTree benchmark keeps its cost
+// on the record as the comparison point for the flat kernel.
+//
+// The paper's parallel algorithm uses neither structure directly: its
+// counting state is the hash lines of internal/memtable (partitioned
+// across nodes, backed per line by candtab.Line since the rewrite).
 package htree

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/candtab"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -140,10 +141,16 @@ const (
 )
 
 type line struct {
-	state   lineState
-	entries []Entry
-	loc     Location
-	bytes   int64 // accounted bytes (valid in both states)
+	state lineState
+	// Resident entries live in a flat candidate table (candtab.Line): arena
+	// keys + SoA counts + open-addressing index, embedded by value (the zero
+	// value is an empty, ready-to-use line). The []Entry form exists only at
+	// the pager boundary (StoreOut/FetchIn), where insertion order is
+	// preserved so the wire image is byte-identical to the legacy slice
+	// representation.
+	flat  candtab.Line
+	loc   Location
+	bytes int64 // accounted bytes (valid in both states)
 	// Residency-order intrusive list (LRU/FIFO victim selection).
 	prev, next int32
 	inLRU      bool
@@ -331,14 +338,14 @@ func (t *Table) evict(p transport.Proc, i int32) error {
 		return fmt.Errorf("memtable: evicting non-resident line %d", i)
 	}
 	start := p.Now()
-	loc, err := t.pager.StoreOut(p, int(i), l.entries)
+	loc, err := t.pager.StoreOut(p, int(i), flatEntries(&l.flat))
 	if err != nil {
 		return fmt.Errorf("memtable: store-out of line %d: %w", i, err)
 	}
 	t.lruRemove(i)
 	l.state = stateOut
 	l.loc = loc
-	l.entries = nil
+	l.flat = candtab.Line{}
 	t.resident -= l.bytes
 	t.stats.Evictions++
 	if t.cfg.Rec.Wants(trace.KEviction) {
@@ -363,7 +370,7 @@ func (t *Table) fault(p transport.Proc, i int32) error {
 		return fmt.Errorf("memtable: fetch-in of line %d: %w", i, err)
 	}
 	l.state = stateResident
-	l.entries = entries
+	l.flat = flatFromEntries(entries)
 	l.bytes = int64(len(entries)) * t.cfg.EntryBytes
 	t.resident += l.bytes
 	t.lruPushFront(i)
@@ -400,7 +407,7 @@ func (t *Table) Insert(p transport.Proc, lineID int, key string) error {
 		}
 	}
 	p.Work(t.cfg.InsertCost)
-	l.entries = append(l.entries, Entry{Key: key})
+	l.flat.Insert(key)
 	l.bytes += t.cfg.EntryBytes
 	t.resident += t.cfg.EntryBytes
 	t.stats.Inserts++
@@ -441,12 +448,8 @@ func (t *Table) Probe(p transport.Proc, lineID int, key string) error {
 		}
 	}
 	p.Work(t.cfg.ProbeCost)
-	for j := range l.entries {
-		if l.entries[j].Key == key {
-			l.entries[j].Count++
-			t.stats.Hits++
-			break
-		}
+	if l.flat.Add(key, 1) {
+		t.stats.Hits++
 	}
 	t.touch(i)
 	return nil
@@ -466,15 +469,48 @@ func (t *Table) Collect(p transport.Proc) ([]Entry, error) {
 				return nil, fmt.Errorf("memtable: collect line %d: %w", i, err)
 			}
 			l.state = stateResident
-			l.entries = entries
+			l.flat = flatFromEntries(entries)
 			l.bytes = int64(len(entries)) * t.cfg.EntryBytes
 			t.resident += l.bytes
 			t.lruPushFront(int32(i))
 			t.stats.Pagefaults++
 		}
-		out = append(out, l.entries...)
+		out = append(out, flatEntries(&l.flat)...)
 	}
 	return out, nil
+}
+
+// flatEntries converts a flat line to the pager's []Entry form, preserving
+// insertion order. An empty line yields nil, matching the legacy nil-slice
+// wire image.
+func flatEntries(fl *candtab.Line) []Entry {
+	if fl.Len() == 0 {
+		return nil
+	}
+	out := make([]Entry, fl.Len())
+	for i := range out {
+		out[i] = Entry{Key: fl.Key(i), Count: fl.Count(i)}
+	}
+	return out
+}
+
+// flatFromEntries rebuilds a flat line from pager entries in order.
+func flatFromEntries(entries []Entry) candtab.Line {
+	var fl candtab.Line
+	fl.Grow(len(entries), wireKeyBytes(entries))
+	for _, e := range entries {
+		fl.InsertCount(e.Key, e.Count)
+	}
+	return fl
+}
+
+// wireKeyBytes sums the key bytes of a pager entry slice (arena presizing).
+func wireKeyBytes(entries []Entry) int {
+	n := 0
+	for _, e := range entries {
+		n += len(e.Key)
+	}
+	return n
 }
 
 // Relocate updates the recorded location of a swapped-out line (used after

@@ -404,5 +404,11 @@ func Benchmarks() []Benchmark {
 		{"RMTPStoreFetchLoopback", "§4.2 pagefault cost", BenchRMTPStoreFetchLoopback},
 		{"TCPPagerSwapLoopback", "§4.2 pagefault cost", BenchTCPPagerSwapLoopback},
 		{"CheckpointPass", "fault tolerance", BenchCheckpointPass},
+		{"Pass2CountFlat", "§3 pass-2 kernel", BenchPass2CountFlat},
+		{"Pass2CountHTree", "§3 pass-2 kernel", BenchPass2CountHTree},
+		{"Pass2CountFlatUniform", "§3 pass-2 kernel", BenchPass2CountFlatUniform},
+		{"Pass2CountHTreeUniform", "§3 pass-2 kernel", BenchPass2CountHTreeUniform},
+		{"RMTPUpdateLoneLoopback", "§4.4 one-way updates", BenchRMTPUpdateLoneLoopback},
+		{"RMTPUpdateBatchLoopback", "§4.4 one-way updates", BenchRMTPUpdateBatchLoopback},
 	}
 }

@@ -370,6 +370,9 @@ func TestBenchmarkRegistry(t *testing.T) {
 		"Fig4DiskSwap", "Fig4SimpleSwap", "Fig4RemoteUpdate", "Fig5Migration",
 		"PublicAPIQuickstart", "RMTPStoreFetchLoopback", "TCPPagerSwapLoopback",
 		"CheckpointPass",
+		"Pass2CountFlat", "Pass2CountHTree",
+		"Pass2CountFlatUniform", "Pass2CountHTreeUniform",
+		"RMTPUpdateLoneLoopback", "RMTPUpdateBatchLoopback",
 	}
 	if len(benches) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(benches), len(want))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/memtable"
 	"repro/internal/rmtp"
@@ -14,7 +15,8 @@ import (
 type TCPPagerStats struct {
 	Stores          uint64 // lines shipped out
 	Fetches         uint64 // lines fetched back
-	Updates         uint64 // one-way increments sent
+	Updates         uint64 // one-way increments issued (logical, batched or not)
+	UpdateFrames    uint64 // one-way update frames actually sent on the wire
 	Failovers       uint64 // stores diverted to another server after a refusal
 	Recoveries      uint64 // fetches served from the shadow after a remote failure
 	Taints          uint64 // lines whose remote copy went stale (lost one-way updates)
@@ -63,6 +65,13 @@ type TCPPager struct {
 	rr      int
 	stats   TCPPagerStats
 	logf    func(string, ...any)
+
+	// Update coalescing (SetUpdateBatch). pendU queues not-yet-shipped
+	// update items per server; pendAt records each queue's oldest item time.
+	batchN   int
+	batchAge time.Duration
+	pendU    map[int][]rmtp.UpdateItem
+	pendAt   map[int]time.Time
 }
 
 // NewTCPPager dials every server in the fleet. owner namespaces this pager's
@@ -86,6 +95,30 @@ func NewTCPPager(owner string, addrs []string, opts rmtp.Options) (*TCPPager, er
 		tp.clients = append(tp.clients, cl)
 	}
 	return tp, nil
+}
+
+// SetUpdateBatch turns on update coalescing: instead of one OpUpdate frame
+// per increment, up to n increments bound for the same server are queued and
+// shipped as a single OpUpdateBatch frame. A queue is flushed when it reaches
+// n items, when its oldest item has waited maxAge (checked lazily on the next
+// queued update; pass 0 to flush on count alone), and always before a fetch
+// from or migration off its server — rmtp connections are FIFO and the server
+// serves one frame at a time, so a flush written before a FetchReq is applied
+// before the fetch is served, keeping the shadow-verification invariant.
+//
+// n <= 1 restores the one-frame-per-update path. Safety is unchanged either
+// way: every increment is mirrored into the line's shadow at Update() time,
+// so a batch that dies on the wire taints its lines and the shadows carry
+// the counts, exactly as a lost lone update would.
+func (tp *TCPPager) SetUpdateBatch(n int, maxAge time.Duration) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.batchN = n
+	tp.batchAge = maxAge
+	if n > 1 && tp.pendU == nil {
+		tp.pendU = make(map[int][]rmtp.UpdateItem)
+		tp.pendAt = make(map[int]time.Time)
+	}
 }
 
 // SetLogger directs diagnostic output (default: silent).
@@ -215,6 +248,22 @@ func (tp *TCPPager) Update(p transport.Proc, line int, loc memtable.Location, ke
 		return nil // remote copy already stale; don't widen the divergence
 	}
 	server := st.server
+
+	if tp.batchN > 1 {
+		tp.stats.Updates++
+		if len(tp.pendU[server]) == 0 {
+			tp.pendAt[server] = time.Now()
+		}
+		tp.pendU[server] = append(tp.pendU[server], rmtp.UpdateItem{Line: int32(line), Key: key})
+		var flush []rmtp.UpdateItem
+		if len(tp.pendU[server]) >= tp.batchN ||
+			(tp.batchAge > 0 && time.Since(tp.pendAt[server]) >= tp.batchAge) {
+			flush = tp.takePendingLocked(server)
+		}
+		tp.mu.Unlock()
+		tp.sendBatch(server, flush)
+		return nil
+	}
 	tp.mu.Unlock()
 
 	err := tp.clients[server].Update(int32(line), key)
@@ -222,6 +271,7 @@ func (tp *TCPPager) Update(p transport.Proc, line int, loc memtable.Location, ke
 	tp.mu.Lock()
 	defer tp.mu.Unlock()
 	tp.stats.Updates++
+	tp.stats.UpdateFrames++
 	if err != nil {
 		if !st.tainted {
 			st.tainted = true
@@ -232,6 +282,68 @@ func (tp *TCPPager) Update(p transport.Proc, line int, loc memtable.Location, ke
 	}
 	st.epoch = tp.clients[server].ConnEpoch()
 	return nil
+}
+
+// takePendingLocked removes and returns server's update queue, dropping items
+// whose line has since been tainted (the shadow is authoritative), fetched
+// back (flush-before-fetch makes this unreachable, but harmless), or re-homed
+// to another server (MigrateAll flushes before migrating, likewise).
+func (tp *TCPPager) takePendingLocked(server int) []rmtp.UpdateItem {
+	pend := tp.pendU[server]
+	if len(pend) == 0 {
+		return nil
+	}
+	delete(tp.pendU, server)
+	delete(tp.pendAt, server)
+	items := pend[:0]
+	for _, it := range pend {
+		st, ok := tp.lines[int(it.Line)]
+		if !ok || st.tainted || st.server != server {
+			continue
+		}
+		items = append(items, it)
+	}
+	return items
+}
+
+// flushServer ships server's pending update queue, if any.
+func (tp *TCPPager) flushServer(server int) {
+	tp.mu.Lock()
+	items := tp.takePendingLocked(server)
+	tp.mu.Unlock()
+	tp.sendBatch(server, items)
+}
+
+// sendBatch transmits one coalesced update frame. A failed send taints every
+// line in the batch — their remote copies are missing these increments — and
+// the shadows carry the counts, exactly as with a lost lone update.
+func (tp *TCPPager) sendBatch(server int, items []rmtp.UpdateItem) {
+	if len(items) == 0 {
+		return
+	}
+	err := tp.clients[server].UpdateBatch(items)
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.stats.UpdateFrames++
+	if err != nil {
+		for _, it := range items {
+			st, ok := tp.lines[int(it.Line)]
+			if !ok || st.server != server || st.tainted {
+				continue
+			}
+			st.tainted = true
+			tp.stats.Taints++
+		}
+		tp.logf("remotemem: %s: batch of %d updates to server %d failed, lines tainted: %v",
+			tp.owner, len(items), server, err)
+		return
+	}
+	epoch := tp.clients[server].ConnEpoch()
+	for _, it := range items {
+		if st, ok := tp.lines[int(it.Line)]; ok && st.server == server && !st.tainted {
+			st.epoch = epoch
+		}
+	}
 }
 
 // FetchIn retrieves a line (lease-then-delete on the wire), verifying the
@@ -256,6 +368,11 @@ func (tp *TCPPager) FetchIn(p transport.Proc, line int, loc memtable.Location) (
 		return shadow, nil
 	}
 	tp.mu.Unlock()
+
+	// Ship any queued updates for this server first: the connection is FIFO
+	// and the server serial, so they are applied before the fetch is served
+	// and the reply matches the shadow.
+	tp.flushServer(server)
 
 	entries, err := tp.clients[server].Fetch(int32(line))
 
@@ -304,6 +421,9 @@ func (tp *TCPPager) MigrateAll(from, dest int) ([]int, error) {
 	if len(lines) == 0 {
 		return nil, nil
 	}
+	// Queued updates for the withdrawing server must land before its lines
+	// move: the server drops updates for lines it no longer holds.
+	tp.flushServer(from)
 	moved, err := tp.clients[from].Migrate(tp.addrs[dest], lines)
 	if err != nil {
 		return nil, err
@@ -336,6 +456,10 @@ func (tp *TCPPager) MigrateAll(from, dest int) ([]int, error) {
 func (tp *TCPPager) Reset() error {
 	tp.mu.Lock()
 	tp.lines = make(map[int]*tcpLine)
+	if tp.pendU != nil {
+		tp.pendU = make(map[int][]rmtp.UpdateItem)
+		tp.pendAt = make(map[int]time.Time)
+	}
 	tp.stats.Resets++
 	tp.mu.Unlock()
 	var first error

@@ -213,3 +213,85 @@ func TestTCPPagerMigrateAll(t *testing.T) {
 		}
 	}
 }
+
+func TestTCPPagerBatchedUpdatesVerifiedAndCoalesced(t *testing.T) {
+	addrs := startTestFleet(t, 1, 1<<20)
+	tp, err := NewTCPPager("t6", addrs, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	tp.SetUpdateBatch(16, 0)
+
+	p := transport.NewRealProc()
+	loc, err := tp.StoreOut(p, 2, entries("x", 0, "y", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 increments: three full 16-batches on the wire, the trailing 2 still
+	// queued until the fetch flushes them (FIFO proves ordering).
+	for i := 0; i < 50; i++ {
+		key := "x"
+		if i%5 == 0 {
+			key = "y"
+		}
+		if err := tp.Update(p, 2, loc, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tp.FetchIn(p, 2, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Count != 40 || got[1].Count != 10 {
+		t.Fatalf("after batched updates: %v", got)
+	}
+	st := tp.Stats()
+	if st.Updates != 50 || st.VerifiedFetches != 1 || st.Mismatches != 0 || st.Taints != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.UpdateFrames != 4 {
+		t.Errorf("update frames = %d, want 4 (3 full batches + 1 fetch-flush)", st.UpdateFrames)
+	}
+}
+
+func TestTCPPagerBatchedUpdatesSurviveServerDeath(t *testing.T) {
+	srv := rmtp.NewServer(1 << 20)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	opts := testOpts()
+	opts.Retries = 0
+	opts.Timeout = 500 * time.Millisecond
+	tp, err := NewTCPPager("t7", []string{srv.Addr()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	tp.SetUpdateBatch(4, 0)
+
+	p := transport.NewRealProc()
+	loc, err := tp.StoreOut(p, 3, entries("k", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Queue updates against the dead server; the flush that fails must taint
+	// the line so the shadow (which has every count) wins on fetch.
+	for i := 0; i < 6; i++ {
+		if err := tp.Update(p, 3, loc, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tp.FetchIn(p, 3, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Count != 7 {
+		t.Fatalf("shadow recovery: %v, want k=7", got)
+	}
+	st := tp.Stats()
+	if st.Taints == 0 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v, want taint + shadow recovery", st)
+	}
+}

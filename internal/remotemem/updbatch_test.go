@@ -1,0 +1,104 @@
+package remotemem
+
+import (
+	"testing"
+
+	"repro/internal/memtable"
+	"repro/internal/sim"
+)
+
+// runUpdateStorm stores one line, fires updates keys*perKey at it, and
+// fetches it back, returning the fetched entries and the update frames the
+// client put on the wire. batch configures update coalescing (0 = off).
+func runUpdateStorm(t *testing.T, batch, keys, perKey int) ([]memtable.Entry, uint64) {
+	t.Helper()
+	r := newRig(t, 1, 32<<20, sim.Second)
+	r.client.UpdateBatch = batch
+	var got []memtable.Entry
+	r.k.Go("app", func(p *sim.Proc) {
+		defer r.stopAll()
+		loc, err := r.client.StoreOut(p, 9, entriesN(keys, 9))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * sim.Millisecond)
+		for rep := 0; rep < perKey; rep++ {
+			for i := 0; i < keys; i++ {
+				key := entriesN(keys, 9)[i].Key
+				if err := r.client.Update(p, 9, loc, key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		// The last partial batch is still queued; the fetch must flush it
+		// first (FIFO edge) so the reply carries every count.
+		got, err = r.client.FetchIn(p, 9, loc)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	r.k.Run()
+	return got, r.client.UpdateFrames()
+}
+
+// TestBatchedUpdatesReduceFramesTenfold is the issue's acceptance check: at
+// equal correctness (identical fetched counts), coalescing with a batch of
+// 64 must cut the number of one-way update messages by at least 10x.
+func TestBatchedUpdatesReduceFramesTenfold(t *testing.T) {
+	const keys, perKey = 10, 70 // 700 updates; 64-batches → 11 frames
+
+	lone, loneFrames := runUpdateStorm(t, 0, keys, perKey)
+	batched, batchFrames := runUpdateStorm(t, 64, keys, perKey)
+
+	if len(lone) != keys || len(batched) != keys {
+		t.Fatalf("fetched %d/%d entries, want %d", len(lone), len(batched), keys)
+	}
+	for i := range lone {
+		if lone[i] != batched[i] {
+			t.Errorf("entry %d differs: lone %+v batched %+v", i, lone[i], batched[i])
+		}
+		if lone[i].Count != int32(perKey) {
+			t.Errorf("count(%s) = %d, want %d", lone[i].Key, lone[i].Count, perKey)
+		}
+	}
+	if loneFrames != uint64(keys*perKey) {
+		t.Errorf("unbatched run sent %d frames, want %d", loneFrames, keys*perKey)
+	}
+	if batchFrames == 0 || loneFrames < 10*batchFrames {
+		t.Errorf("frames: %d unbatched vs %d batched — want >=10x reduction", loneFrames, batchFrames)
+	}
+}
+
+// TestBatchFlushAge verifies a partial batch is shipped once its oldest item
+// has waited UpdateFlushAge, without needing a fetch or a full batch.
+func TestBatchFlushAge(t *testing.T) {
+	r := newRig(t, 1, 32<<20, sim.Second)
+	r.client.UpdateBatch = 1000
+	r.client.UpdateFlushAge = 50 * sim.Millisecond
+	r.k.Go("app", func(p *sim.Proc) {
+		defer r.stopAll()
+		loc, err := r.client.StoreOut(p, 4, entriesN(2, 4))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(10 * sim.Millisecond)
+		r.client.Update(p, 4, loc, "e4-0") // queued, starts the age clock
+		p.Sleep(100 * sim.Millisecond)
+		r.client.Update(p, 4, loc, "e4-1") // age exceeded: flushes both
+		p.Sleep(100 * sim.Millisecond)
+		if got := r.client.UpdateFrames(); got != 1 {
+			t.Errorf("update frames = %d, want 1 (age flush)", got)
+		}
+		_, _, upd, _, _ := r.stores[0].Stats()
+		if upd != 2 {
+			t.Errorf("store applied %d updates, want 2", upd)
+		}
+		if _, err := r.client.FetchIn(p, 4, loc); err != nil {
+			t.Error(err)
+		}
+	})
+	r.k.Run()
+}

@@ -418,11 +418,22 @@ func (c *Client) callIdempotent(op Op, line int32, payload []byte) (Op, []byte, 
 	return 0, nil, lastErr
 }
 
+// encPool recycles payload encode buffers so steady-state one-way traffic
+// (stores, updates, update batches) allocates nothing per operation.
+var encPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getEncBuf() *[]byte  { return encPool.Get().(*[]byte) }
+func putEncBuf(b *[]byte) { encPool.Put(b) }
+
 // Store ships a line's entries (one-way, pipelined). Delivery is not
 // confirmed: a server over capacity drops the line with only a server-side
 // log. Use StoreAck when the caller must know the line landed.
 func (c *Client) Store(line int32, entries []Entry) error {
-	return c.send(OpStore, line, EncodeEntries(entries))
+	buf := getEncBuf()
+	*buf = AppendEntries((*buf)[:0], entries)
+	err := c.send(OpStore, line, *buf)
+	putEncBuf(buf)
+	return err
 }
 
 // StoreAck ships a line's entries and waits for the server's acceptance.
@@ -431,7 +442,10 @@ func (c *Client) Store(line int32, entries []Entry) error {
 // fallback tier instead of losing it. Retried (storing is idempotent: a
 // duplicate store replaces the same line).
 func (c *Client) StoreAck(line int32, entries []Entry) error {
-	op, payload, err := c.callIdempotent(OpStoreAck, line, EncodeEntries(entries))
+	buf := getEncBuf()
+	*buf = AppendEntries((*buf)[:0], entries)
+	op, payload, err := c.callIdempotent(OpStoreAck, line, *buf)
+	putEncBuf(buf)
 	if err != nil {
 		return err
 	}
@@ -518,7 +532,32 @@ func (c *Client) Fetch(line int32) ([]Entry, error) {
 
 // Update applies a one-way count increment for key at a stored line.
 func (c *Client) Update(line int32, key string) error {
-	return c.send(OpUpdate, line, EncodeString(key))
+	buf := getEncBuf()
+	*buf = AppendString((*buf)[:0], key)
+	err := c.send(OpUpdate, line, *buf)
+	putEncBuf(buf)
+	return err
+}
+
+// UpdateBatch ships many one-way count increments — possibly spanning many
+// lines — in a single frame. One frame header and one syscall amortize over
+// the whole batch; the server applies items in order, dropping those for
+// absent lines exactly as lone updates would be.
+func (c *Client) UpdateBatch(items []UpdateItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	buf := getEncBuf()
+	*buf = AppendUpdateBatch((*buf)[:0], items)
+	err := c.send(OpUpdateBatch, 0, *buf)
+	putEncBuf(buf)
+	if err == nil {
+		c.mu.Lock()
+		c.m.UpdateBatches++
+		c.m.BatchedUpdates += uint64(len(items))
+		c.mu.Unlock()
+	}
+	return err
 }
 
 // Migrate asks the server to push the listed lines to another server and

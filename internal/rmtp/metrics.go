@@ -15,7 +15,9 @@ const frameHeaderBytes = 9
 // the latency histogram is in real nanoseconds.
 type Metrics struct {
 	Ops              uint64          // operations attempted (one-way + calls)
-	OneWay           uint64          // one-way frames shipped (Store, Update)
+	OneWay           uint64          // one-way frames shipped (Store, Update, UpdateBatch)
+	UpdateBatches    uint64          // coalesced update frames shipped
+	BatchedUpdates   uint64          // individual updates carried inside batches
 	Calls            uint64          // request/reply exchanges completed
 	Retries          uint64          // re-issued idempotent attempts
 	Connects         uint64          // successful connections (first dial included)
@@ -38,6 +40,8 @@ func (m Metrics) Snapshot(name string) trace.Snapshot {
 		Fields: []trace.Field{
 			{Name: "ops", Value: float64(m.Ops)},
 			{Name: "one_way", Value: float64(m.OneWay)},
+			{Name: "update_batches", Value: float64(m.UpdateBatches)},
+			{Name: "batched_updates", Value: float64(m.BatchedUpdates)},
 			{Name: "calls", Value: float64(m.Calls)},
 			{Name: "retries", Value: float64(m.Retries)},
 			{Name: "connects", Value: float64(m.Connects)},
@@ -70,6 +74,7 @@ type ServerMetrics struct {
 	Stores        uint64
 	Fetches       uint64
 	Updates       uint64
+	UpdateBatches uint64 // coalesced update frames applied
 	Migrated      uint64
 	Releases      uint64 // leased lines deleted on the owner's ack
 	HeldLines     int64
@@ -97,6 +102,7 @@ func (s *Server) Metrics() ServerMetrics {
 		Stores:        s.stores,
 		Fetches:       s.fetches,
 		Updates:       s.updates,
+		UpdateBatches: s.updateBatches,
 		Migrated:      s.migrated,
 		Releases:      s.releases,
 		HeldLines:     int64(len(s.lines)),
@@ -127,6 +133,7 @@ func (m ServerMetrics) Snapshot(name string) trace.Snapshot {
 			{Name: "stores", Value: float64(m.Stores)},
 			{Name: "fetches", Value: float64(m.Fetches)},
 			{Name: "updates", Value: float64(m.Updates)},
+			{Name: "update_batches", Value: float64(m.UpdateBatches)},
 			{Name: "migrated", Value: float64(m.Migrated)},
 			{Name: "releases", Value: float64(m.Releases)},
 			{Name: "held_lines", Value: float64(m.HeldLines)},

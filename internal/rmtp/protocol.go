@@ -38,8 +38,13 @@ const (
 	// and would otherwise occupy server capacity until the run ends.
 	// Idempotent — resetting an owner with no lines is OpOK with count 0.
 	OpReset Op = 10 // payload: empty; reply OpOK purged-line count (uvarint)
-	OpOK    Op = 16 // reply payload depends on request
-	OpErr   Op = 17 // reply payload: error message
+	// OpUpdateBatch carries many one-way count updates, possibly for many
+	// lines, in a single frame: the coalesced form of OpUpdate. The frame's
+	// line field is unused (0); each item names its own line. Items for
+	// absent lines are dropped, exactly as a lone OpUpdate would be.
+	OpUpdateBatch Op = 11 // payload: update items (one-way)
+	OpOK          Op = 16 // reply payload depends on request
+	OpErr         Op = 17 // reply payload: error message
 )
 
 // Entry mirrors memtable.Entry on the wire.
@@ -109,7 +114,12 @@ func ReadFrameMax(r io.Reader, max int) (op Op, line int32, payload []byte, err 
 
 // EncodeEntries serializes an entry list.
 func EncodeEntries(entries []Entry) []byte {
-	var buf []byte
+	return AppendEntries(nil, entries)
+}
+
+// AppendEntries serializes an entry list onto buf (pooled-buffer form of
+// EncodeEntries).
+func AppendEntries(buf []byte, entries []Entry) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(entries)))
 	for _, e := range entries {
 		buf = binary.AppendUvarint(buf, uint64(len(e.Key)))
@@ -149,7 +159,12 @@ func DecodeEntries(b []byte) ([]Entry, error) {
 
 // EncodeString serializes a length-prefixed string.
 func EncodeString(s string) []byte {
-	buf := binary.AppendUvarint(nil, uint64(len(s)))
+	return AppendString(nil, s)
+}
+
+// AppendString serializes a length-prefixed string onto buf.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
 }
 
@@ -190,6 +205,100 @@ func DecodeLines(b []byte) ([]int32, []byte, error) {
 		out = append(out, int32(v))
 	}
 	return out, b[off:], nil
+}
+
+// UpdateItem is one count increment inside an OpUpdateBatch frame.
+type UpdateItem struct {
+	Line int32
+	Key  string
+}
+
+// EncodeUpdateBatch serializes a batch of update items.
+func EncodeUpdateBatch(items []UpdateItem) []byte {
+	return AppendUpdateBatch(nil, items)
+}
+
+// AppendUpdateBatch serializes a batch of update items onto buf
+// (pooled-buffer form of EncodeUpdateBatch).
+func AppendUpdateBatch(buf []byte, items []UpdateItem) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = binary.AppendVarint(buf, int64(it.Line))
+		buf = binary.AppendUvarint(buf, uint64(len(it.Key)))
+		buf = append(buf, it.Key...)
+	}
+	return buf
+}
+
+// DecodeUpdateBatch parses a batch of update items.
+func DecodeUpdateBatch(b []byte) ([]UpdateItem, error) {
+	var out []UpdateItem
+	err := DecodeUpdateBatchFunc(b, func(line int32, key []byte) {
+		out = append(out, UpdateItem{Line: line, Key: string(key)})
+	})
+	return out, err
+}
+
+// DecodeUpdateBatchFunc parses a batch of update items, calling fn for each
+// without allocating: key is a view into b, valid only during the call. The
+// server's batch-apply path uses this to process a frame of thousands of
+// updates with zero per-item allocations.
+func DecodeUpdateBatchFunc(b []byte, fn func(line int32, key []byte)) error {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return errors.New("rmtp: bad update batch count")
+	}
+	if n > maxFrame/2 {
+		return fmt.Errorf("rmtp: implausible update count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		line, m := binary.Varint(b[off:])
+		if m <= 0 {
+			return fmt.Errorf("rmtp: truncated line at update %d", i)
+		}
+		off += m
+		kl, m := binary.Uvarint(b[off:])
+		if m <= 0 || uint64(len(b)-off-m) < kl {
+			return fmt.Errorf("rmtp: truncated key at update %d", i)
+		}
+		off += m
+		fn(int32(line), b[off:off+int(kl)])
+		off += int(kl)
+	}
+	if off != len(b) {
+		return fmt.Errorf("rmtp: %d trailing bytes after update batch", len(b)-off)
+	}
+	return nil
+}
+
+// ReadFrameInto is ReadFrameMax with a caller-supplied payload buffer: when
+// buf has the capacity, the returned payload aliases it and no allocation
+// happens. Callers that loop should keep the (possibly grown) payload's
+// backing array as the next call's buf. The payload is only valid until the
+// buffer is reused.
+func ReadFrameInto(r io.Reader, max int, buf []byte) (op Op, line int32, payload []byte, err error) {
+	if max <= 0 || max > maxFrame {
+		max = maxFrame
+	}
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	op = Op(hdr[0])
+	line = int32(binary.BigEndian.Uint32(hdr[1:5]))
+	n := binary.BigEndian.Uint32(hdr[5:9])
+	if n > uint32(max) {
+		return 0, 0, nil, fmt.Errorf("rmtp: frame payload %d over cap %d: %w", n, max, ErrFrameTooLarge)
+	}
+	if uint32(cap(buf)) >= n {
+		payload = buf[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return op, line, payload, nil
 }
 
 // Stat is the server occupancy report.

@@ -1,6 +1,7 @@
 package rmtp
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -68,6 +69,7 @@ type Server struct {
 	conns   map[net.Conn]struct{} // live sessions, closed on shutdown
 
 	stores, fetches, updates, migrated uint64
+	updateBatches                      uint64 // OpUpdateBatch frames applied
 	releases                           uint64
 	connsRejected                      uint64 // refused over MaxConns
 	frameErrors                        uint64 // oversized/garbled frames
@@ -281,6 +283,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	owner := ""
+	// Per-session buffered reader and reusable payload buffer: frames are
+	// consumed one at a time and every handler copies what it retains, so a
+	// single buffer serves the whole session with no per-frame allocation.
+	br := bufio.NewReader(conn)
+	var rbuf []byte
 	for {
 		var dl time.Time
 		if s.opts.IdleTimeout > 0 {
@@ -294,7 +301,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		if !dl.IsZero() {
 			conn.SetReadDeadline(dl)
 		}
-		op, line, payload, err := ReadFrameMax(conn, s.maxFrameBytes())
+		op, line, payload, err := ReadFrameInto(br, s.maxFrameBytes(), rbuf)
+		if len(payload) > cap(rbuf) {
+			rbuf = payload[:cap(payload)]
+		}
 		if err != nil {
 			if errors.Is(err, ErrFrameTooLarge) {
 				s.mu.Lock()
@@ -495,6 +505,29 @@ func (s *Server) handle(conn net.Conn, owner string, op Op, line int32, payload 
 		}
 		s.mu.Unlock()
 		return nil
+
+	case OpUpdateBatch:
+		// Apply a coalesced frame of updates in one lock acquisition. Each
+		// item names its own line; items for absent (e.g. since-fetched or
+		// migrated) lines are dropped, as a lone OpUpdate would be. The
+		// string(kb) comparison below does not allocate.
+		s.mu.Lock()
+		err := DecodeUpdateBatchFunc(payload, func(ln int32, kb []byte) {
+			entries, ok := s.lines[ownerLine{owner, ln}]
+			if !ok {
+				return
+			}
+			s.updates++
+			for i := range entries {
+				if entries[i].Key == string(kb) {
+					entries[i].Count++
+					break
+				}
+			}
+		})
+		s.updateBatches++
+		s.mu.Unlock()
+		return err
 
 	case OpMigrate:
 		dest, rest, err := DecodeString(payload)
